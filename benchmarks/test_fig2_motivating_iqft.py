@@ -1,0 +1,48 @@
+"""Fig. 2 (Sec. III): the motivating 3-qubit inverse-QFT example.
+
+Paper setting: 3-qubit iQFT, gate errors 1q=0.01 / 2q=0.1, measurement
+errors 0.1 (q0) and 0.3 (q1, q2, ancilla).  Reported Hellinger fidelities:
+Original 0.39, Jigsaw 0.57, optimized-copies 0.71, PCS 0.68, QuTracer 0.87.
+
+Here the same circuit and noise are used; Jigsaw is run without the paper's
+low-noise-qubit remapping (our simulator has no crosstalk, so Jigsaw tracks
+the original closely, as in Fig. 7), QuTracer uses single-qubit subsetting.
+The expected ordering Original <= Jigsaw < PCS(ideal) < QuTracer is
+reproduced; see EXPERIMENTS.md for measured numbers.
+"""
+
+from harness import print_table, run_all_methods
+
+from repro.algorithms import iqft_benchmark_circuit
+from repro.noise import NoiseModel
+
+SHOTS = 20000
+SEED = 5
+
+
+def _run():
+    circuit = iqft_benchmark_circuit(3, value=5)
+    noise = NoiseModel.depolarizing(
+        p1=0.01, p2=0.1, readout={0: 0.1, 1: 0.3, 2: 0.3}
+    )
+    outcomes = run_all_methods(
+        circuit,
+        noise,
+        shots=SHOTS,
+        seed=SEED,
+        subset_size=1,
+        include_sqem=False,
+        include_ideal_pcs=True,
+    )
+    rows = [
+        {"method": name, "hellinger_fidelity": outcome.fidelity}
+        for name, outcome in outcomes.items()
+    ]
+    print_table("Fig. 2 — 3-qubit iQFT motivating example", rows, ["method", "hellinger_fidelity"])
+    return outcomes
+
+
+def test_fig2_motivating_iqft(benchmark):
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert outcomes["QuTracer"].fidelity > outcomes["Original"].fidelity
+    assert outcomes["QuTracer"].fidelity > outcomes["Jigsaw"].fidelity

@@ -1,0 +1,51 @@
+"""QAOA MaxCut with subset-size-2 QuTracer checks.
+
+MaxCut outputs are Z2-symmetric, so single-qubit marginals are uniform and
+carry no information (Sec. V-D); the paper therefore uses subset size 2 for
+QAOA.  This example runs a ring-graph MaxCut instance under a device noise
+model and compares the expected cut value and fidelity before and after
+mitigation.
+
+Run with::
+
+    python examples/qaoa_maxcut.py
+"""
+
+from repro.algorithms import (
+    cut_value_distribution_expectation,
+    maxcut_brute_force,
+    qaoa_maxcut_circuit,
+    ring_graph,
+)
+from repro.core import QuTracer
+from repro.distributions import hellinger_fidelity
+from repro.noise import fake_mumbai
+from repro.simulators import execute, ideal_distribution
+
+
+def main() -> None:
+    graph = ring_graph(6)
+    optimum, _ = maxcut_brute_force(graph)
+    circuit = qaoa_maxcut_circuit(graph, layers=2)
+    ideal = ideal_distribution(circuit)
+    print(f"6-node ring MaxCut, optimum cut = {optimum:.0f}, "
+          f"ideal QAOA expected cut = {cut_value_distribution_expectation(graph, ideal):.2f}")
+
+    device = fake_mumbai()
+    assignment = {q: p for q, p in zip(range(6), device.best_qubits(6))}
+    noise = device.noise_model_for_assignment(assignment)
+
+    raw = execute(circuit, noise, shots=12000, seed=4)
+    print(f"\nunmitigated: fidelity {hellinger_fidelity(raw.distribution, ideal):.3f}, "
+          f"expected cut {cut_value_distribution_expectation(graph, raw.distribution):.2f}")
+
+    tracer = QuTracer(device=device, shots=12000, shots_per_circuit=1200, seed=4)
+    result = tracer.run(circuit, subset_size=2)
+    print(f"QuTracer   : fidelity {result.mitigated_fidelity:.3f}, "
+          f"expected cut {cut_value_distribution_expectation(graph, result.mitigated_distribution):.2f}")
+    print(f"             {result.num_circuits - 1} circuit copies, "
+          f"normalized shots {result.normalized_shots:.1f}")
+
+
+if __name__ == "__main__":
+    main()

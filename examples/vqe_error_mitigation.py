@@ -1,0 +1,45 @@
+"""Multi-layer VQE ansatz on a synthetic device, mitigated layer by layer.
+
+Reproduces the Sec. V-C workflow in miniature: a hardware-efficient Ry+CZ
+ansatz with several entangling layers is traced qubit by qubit; each layer
+is protected by a virtual Pauli-Z check and the mitigated subset state is
+handed to the next layer through the Bayesian update.
+
+Run with::
+
+    python examples/vqe_error_mitigation.py
+"""
+
+from repro.algorithms import vqe_circuit
+from repro.core import QuTracer
+from repro.distributions import hellinger_fidelity
+from repro.noise import fake_hanoi
+from repro.simulators import execute, ideal_distribution
+
+
+def main() -> None:
+    device = fake_hanoi()
+    print(f"device: {device.name}, median CX error {device.median_cx_error():.2e}, "
+          f"median readout error {device.median_readout_error():.2e}")
+
+    for layers in (1, 2):
+        circuit = vqe_circuit(6, layers, seed=11)
+        ideal = ideal_distribution(circuit)
+        assignment = {q: p for q, p in zip(range(6), device.best_qubits(6))}
+        noise = device.noise_model_for_assignment(assignment)
+
+        raw = execute(circuit, noise, shots=12000, seed=3)
+        raw_fidelity = hellinger_fidelity(raw.distribution, ideal)
+
+        tracer = QuTracer(device=device, shots=12000, shots_per_circuit=1200, seed=3)
+        result = tracer.run(circuit, subset_size=1)
+
+        print(f"\n6-qubit VQE, {layers} layer(s):")
+        print(f"  unmitigated fidelity : {raw_fidelity:.3f}")
+        print(f"  QuTracer fidelity    : {result.mitigated_fidelity:.3f}")
+        print(f"  checked layers/qubit : {result.subset_results[0].num_checked_layers}")
+        print(f"  normalized shots     : {result.normalized_shots:.1f}")
+
+
+if __name__ == "__main__":
+    main()

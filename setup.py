@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment has setuptools but not the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` with a ``[build-system]`` table)
+fail with ``invalid command 'bdist_wheel'``.  Keeping a classic ``setup.py``
+lets pip fall back to the legacy ``setup.py develop`` editable path, which
+works offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""QuTracer reproduction package.
+
+The package implements the full stack needed by the ISCA 2024 paper
+"QuTracer: Mitigating Quantum Gate and Measurement Errors by Tracing Subsets
+of Qubits": a circuit IR and simulators, noise models, the Jigsaw / PCS /
+SQEM baselines, and the QuTracer framework itself (qubit subsetting Pauli
+checks, circuit analysis, the optimization passes, and the single- and
+multi-layer tracing drivers).
+
+Quickstart
+----------
+>>> from repro import QuantumCircuit, NoiseModel, QuTracer
+>>> from repro.algorithms import iqft_circuit
+>>> circuit = iqft_circuit(3, input_state=5)
+>>> noise = NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.05)
+>>> tracer = QuTracer(noise_model=noise, shots=4000, seed=7)
+>>> result = tracer.run(circuit)
+>>> 0.0 <= result.fidelity_vs(result.ideal_distribution) <= 1.0
+True
+"""
+
+from .circuits import QuantumCircuit
+from .noise import NoiseModel
+from .distributions import ProbabilityDistribution, hellinger_fidelity
+
+__all__ = [
+    "QuantumCircuit",
+    "NoiseModel",
+    "ProbabilityDistribution",
+    "hellinger_fidelity",
+    "QuTracer",
+    "QuTracerResult",
+]
+
+
+def __getattr__(name):
+    # QuTracer lives in repro.core, which depends on every substrate; import
+    # it lazily so that `import repro` stays cheap for substrate-only users.
+    if name in ("QuTracer", "QuTracerResult"):
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+__version__ = "1.0.0"

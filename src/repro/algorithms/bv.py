@@ -1,0 +1,56 @@
+"""Bernstein-Vazirani circuits (the 9-q BV benchmark of Table II)."""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["bernstein_vazirani_circuit"]
+
+
+def bernstein_vazirani_circuit(
+    secret: int | str, num_qubits: int | None = None, measure: bool = True
+) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit for a hidden bitstring.
+
+    Parameters
+    ----------
+    secret:
+        The hidden string, as an integer or a bitstring (MSB first).
+    num_qubits:
+        Number of *data* qubits.  Required when ``secret`` is an integer
+        whose width is ambiguous; inferred from the string length otherwise.
+        The circuit has one extra ancilla (the phase-kickback qubit), so the
+        paper's "9-q BV" is ``num_qubits=8`` data qubits plus the ancilla.
+
+    The ideal output distribution over the data qubits is a single peak at
+    ``secret``.
+    """
+    if isinstance(secret, str):
+        if num_qubits is None:
+            num_qubits = len(secret)
+        secret_value = int(secret, 2)
+    else:
+        secret_value = int(secret)
+        if num_qubits is None:
+            raise ValueError("num_qubits is required when secret is an integer")
+    if secret_value >= 2**num_qubits:
+        raise ValueError(f"secret {secret_value} does not fit in {num_qubits} qubits")
+
+    ancilla = num_qubits
+    qc = QuantumCircuit(num_qubits + 1, name=f"bv_{num_qubits + 1}")
+    qc.metadata["secret"] = secret_value
+
+    # Ancilla in |->, data register in uniform superposition.
+    qc.x(ancilla)
+    qc.h(ancilla)
+    for q in range(num_qubits):
+        qc.h(q)
+    # Oracle: CX from every secret bit onto the ancilla.
+    for q in range(num_qubits):
+        if (secret_value >> q) & 1:
+            qc.cx(q, ancilla)
+    for q in range(num_qubits):
+        qc.h(q)
+    if measure:
+        qc.measure_subset(list(range(num_qubits)))
+    return qc

@@ -1,0 +1,86 @@
+"""Quantum Fourier transform circuits.
+
+The inverse QFT is the motivating example of the paper (Sec. III, Fig. 2) and
+a building block of QPE and the QFT arithmetic benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import QuantumCircuit
+
+__all__ = [
+    "qft_circuit",
+    "iqft_circuit",
+    "fourier_state_preparation",
+    "iqft_benchmark_circuit",
+]
+
+
+def qft_circuit(num_qubits: int, with_swaps: bool = True, approximation_degree: int = 0) -> QuantumCircuit:
+    """Textbook QFT.
+
+    ``approximation_degree`` drops the smallest-angle controlled phases (the
+    approximate QFT); 0 keeps every rotation.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be positive")
+    qc = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits - 1, -1, -1):
+        qc.h(target)
+        for control in range(target - 1, -1, -1):
+            distance = target - control
+            if approximation_degree and distance > num_qubits - approximation_degree:
+                continue
+            qc.cp(math.pi / 2**distance, control, target)
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def iqft_circuit(num_qubits: int, with_swaps: bool = True, approximation_degree: int = 0) -> QuantumCircuit:
+    """Inverse QFT (adjoint of :func:`qft_circuit`)."""
+    inverse = qft_circuit(num_qubits, with_swaps=with_swaps, approximation_degree=approximation_degree).inverse()
+    inverse.name = f"iqft_{num_qubits}"
+    return inverse
+
+
+def fourier_state_preparation(num_qubits: int, value: int, bit_reversed: bool = False) -> QuantumCircuit:
+    """Prepare the Fourier-basis encoding of ``value``.
+
+    With ``bit_reversed=False`` the state equals ``QFT |value>`` in the
+    standard (with-swaps) convention, so applying :func:`iqft_circuit` with
+    swaps returns ``|value>``.  With ``bit_reversed=True`` the per-qubit
+    phases follow the swap-less convention, so the *swap-less* inverse QFT
+    returns ``|value>`` — this is the form used by the motivating-example
+    benchmark, whose circuit (like the paper's Fig. 2) contains no SWAPs.
+    """
+    if not 0 <= value < 2**num_qubits:
+        raise ValueError(f"value {value} out of range for {num_qubits} qubits")
+    qc = QuantumCircuit(num_qubits, name=f"fourier_state_{value}")
+    for q in range(num_qubits):
+        qc.h(q)
+        if bit_reversed:
+            qc.p(2.0 * math.pi * value / 2 ** (q + 1), q)
+        else:
+            qc.p(2.0 * math.pi * value / 2 ** (num_qubits - q), q)
+    return qc
+
+
+def iqft_benchmark_circuit(num_qubits: int, value: int | None = None, measure: bool = True) -> QuantumCircuit:
+    """Fourier-state preparation followed by the inverse QFT (Fig. 2(a)).
+
+    The ideal output is the basis state ``|value>`` (default: the state with
+    alternating bits set, which exercises every rotation).
+    """
+    if value is None:
+        value = sum(1 << b for b in range(0, num_qubits, 2))
+    qc = fourier_state_preparation(num_qubits, value, bit_reversed=True)
+    qc = qc.compose(iqft_circuit(num_qubits, with_swaps=False))
+    qc.name = f"iqft_benchmark_{num_qubits}"
+    qc.metadata["ideal_value"] = value
+    if measure:
+        qc.measure_all()
+    return qc

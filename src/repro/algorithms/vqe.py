@@ -1,0 +1,110 @@
+"""Hardware-efficient VQE ansatz circuits.
+
+The paper's VQE benchmarks (Fig. 6, Fig. 7, Fig. 8, Tables II/III) use a
+hardware-efficient ansatz: a layer of single-qubit Ry rotations, followed by
+``layers`` repetitions of [linear-entanglement CZ layer + Ry layer].  The
+"CNOT depth" sweep of Fig. 8 repeats the entanglement layer a configurable
+number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["hardware_efficient_ansatz", "vqe_circuit", "random_vqe_parameters"]
+
+
+def random_vqe_parameters(
+    num_qubits: int, layers: int, seed: int | None = None, scale: float = np.pi
+) -> np.ndarray:
+    """Random rotation angles with shape ``(layers + 1, num_qubits)``."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-scale, scale, size=(layers + 1, num_qubits))
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    layers: int,
+    parameters: Sequence[Sequence[float]] | np.ndarray | None = None,
+    entangler: str = "cz",
+    entanglement_repetitions: int = 1,
+    barriers: bool = False,
+    seed: int | None = 7,
+) -> QuantumCircuit:
+    """Build the Ry + linear-entanglement ansatz of Fig. 6(a).
+
+    Parameters
+    ----------
+    num_qubits, layers:
+        Width and number of entangling layers.  ``layers = 0`` gives a single
+        Ry layer.
+    parameters:
+        Rotation angles with shape ``(layers + 1, num_qubits)``.  Random
+        angles (seeded) are used when omitted.
+    entangler:
+        ``"cz"`` (paper default) or ``"cx"`` linear entanglement.
+    entanglement_repetitions:
+        Number of times each entanglement layer is repeated; this is the knob
+        behind the "CNOT depth" sweep of Fig. 8.
+    barriers:
+        Insert a barrier after every entanglement block (useful for
+        visualisation; the QuTracer analysis inserts its own cut markers).
+    """
+    if num_qubits < 2:
+        raise ValueError("the ansatz needs at least two qubits")
+    if layers < 0:
+        raise ValueError("layers must be non-negative")
+    if entangler not in ("cz", "cx"):
+        raise ValueError("entangler must be 'cz' or 'cx'")
+    if parameters is None:
+        parameters = random_vqe_parameters(num_qubits, layers, seed=seed)
+    parameters = np.asarray(parameters, dtype=float)
+    if parameters.shape != (layers + 1, num_qubits):
+        raise ValueError(
+            f"parameters must have shape {(layers + 1, num_qubits)}, got {parameters.shape}"
+        )
+
+    qc = QuantumCircuit(num_qubits, name=f"vqe_{num_qubits}q_{layers}l")
+    qc.metadata["layers"] = layers
+    qc.metadata["entangler"] = entangler
+    for q in range(num_qubits):
+        qc.ry(float(parameters[0, q]), q)
+    for layer in range(layers):
+        for _ in range(entanglement_repetitions):
+            for q in range(num_qubits - 1):
+                if entangler == "cz":
+                    qc.cz(q, q + 1)
+                else:
+                    qc.cx(q, q + 1)
+        if barriers:
+            qc.barrier()
+        for q in range(num_qubits):
+            qc.ry(float(parameters[layer + 1, q]), q)
+    return qc
+
+
+def vqe_circuit(
+    num_qubits: int,
+    layers: int,
+    parameters: np.ndarray | None = None,
+    entangler: str = "cz",
+    entanglement_repetitions: int = 1,
+    seed: int | None = 7,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """The ansatz with final measurements on every qubit (the VQE benchmark)."""
+    qc = hardware_efficient_ansatz(
+        num_qubits,
+        layers,
+        parameters=parameters,
+        entangler=entangler,
+        entanglement_repetitions=entanglement_repetitions,
+        seed=seed,
+    )
+    if measure:
+        qc.measure_all()
+    return qc

@@ -1,0 +1,124 @@
+"""Cut-point analysis: partition a circuit into segments for a qubit subset.
+
+QuTracer inserts "quantum watchpoints" (cut points) on the traced wires so
+that every segment between two consecutive cut points can be protected by a
+single-qubit (or product) Pauli-Z check (Sec. V-B: *the criteria for choosing
+cut points is to divide the gate operations into sets of commuting
+operations*).
+
+A circuit is decomposed, for a given subset, into an alternating sequence of
+
+* ``local`` segments — single-qubit gates on the subset wires only, which
+  the tracer simulates classically (localized gate simulation), and
+* ``entangling`` segments — maximal runs whose subset-touching multi-qubit
+  gates all commute with Pauli-Z on the subset wires they touch (and can
+  therefore be protected by Z checks), or, as a fallback, runs that do not
+  commute (executed without checks).
+
+Gates that never touch the subset are attached to the entangling segment in
+which they occur (they are carried along for context; false dependency
+removal later prunes the irrelevant ones).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..circuits import Instruction, QuantumCircuit, gate_commutes_with_pauli
+
+__all__ = ["Segment", "SubsetAnalysis", "analyse_subset"]
+
+
+@dataclasses.dataclass
+class Segment:
+    """A contiguous slice of the circuit, classified for the tracer."""
+
+    kind: str  # "local" | "checked" | "unchecked"
+    instructions: list[Instruction]
+
+    @property
+    def is_local(self) -> bool:
+        return self.kind == "local"
+
+    @property
+    def checkable(self) -> bool:
+        return self.kind == "checked"
+
+    def touches_subset(self, subset: Sequence[int]) -> bool:
+        subset_set = set(subset)
+        return any(subset_set.intersection(inst.qubits) for inst in self.instructions)
+
+
+@dataclasses.dataclass
+class SubsetAnalysis:
+    """Result of :func:`analyse_subset`."""
+
+    subset: list[int]
+    segments: list[Segment]
+    num_cut_points: int
+
+    @property
+    def num_checked_layers(self) -> int:
+        return sum(1 for s in self.segments if s.kind == "checked" and s.instructions)
+
+
+def analyse_subset(circuit: QuantumCircuit, subset: Sequence[int]) -> SubsetAnalysis:
+    """Partition ``circuit`` (measurements ignored) into tracer segments."""
+    subset = [int(q) for q in subset]
+    subset_set = set(subset)
+    if len(subset_set) != len(subset):
+        raise ValueError("duplicate qubits in subset")
+    for q in subset:
+        if q < 0 or q >= circuit.num_qubits:
+            raise ValueError(f"subset qubit {q} out of range")
+
+    segments: list[Segment] = []
+    current_kind: str | None = None
+    current: list[Instruction] = []
+
+    def flush() -> None:
+        nonlocal current, current_kind
+        if current:
+            segments.append(Segment(kind=current_kind or "checked", instructions=current))
+        current = []
+        current_kind = None
+
+    for inst in circuit.data:
+        if inst.is_measurement or inst.is_barrier:
+            continue
+        if not inst.is_gate:
+            raise ValueError(f"cannot analyse instruction {inst.name!r}")
+        touched = subset_set.intersection(inst.qubits)
+        if touched and len(inst.qubits) == 1:
+            kind = "local"
+        elif touched:
+            commutes = gate_commutes_with_pauli(inst, {q: "Z" for q in touched})
+            kind = "checked" if commutes else "unchecked"
+        else:
+            # Context gate: attach to whatever entangling segment is open, or
+            # open a checked segment by default.
+            kind = current_kind if current_kind in ("checked", "unchecked") else "checked"
+        if current_kind is None:
+            current_kind = kind
+        if kind != current_kind:
+            # Local gates never merge with entangling segments and vice versa.
+            flush()
+            current_kind = kind
+        current.append(inst)
+    flush()
+
+    # Merge consecutive segments of the same kind (can happen around context
+    # gates) and drop empty ones.
+    merged: list[Segment] = []
+    for segment in segments:
+        if merged and merged[-1].kind == segment.kind:
+            merged[-1].instructions.extend(segment.instructions)
+        else:
+            merged.append(segment)
+
+    entangling = sum(1 for s in merged if s.kind in ("checked", "unchecked"))
+    # One cut before and one after every entangling segment (shared cuts are
+    # counted once), matching the paper's "two cuts per layer" accounting.
+    num_cut_points = max(2 * entangling, 0)
+    return SubsetAnalysis(subset=subset, segments=merged, num_cut_points=num_cut_points)

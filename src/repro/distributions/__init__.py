@@ -1,0 +1,15 @@
+"""Probability distributions, fidelity metrics and Bayesian recombination."""
+
+from .bayesian import bayesian_update, iterative_bayesian_update
+from .hellinger import hellinger_distance, hellinger_fidelity, total_variation_distance
+from .probability import Counts, ProbabilityDistribution
+
+__all__ = [
+    "ProbabilityDistribution",
+    "Counts",
+    "hellinger_distance",
+    "hellinger_fidelity",
+    "total_variation_distance",
+    "bayesian_update",
+    "iterative_bayesian_update",
+]

@@ -1,0 +1,144 @@
+"""Bayesian recombination of local (subset) and global distributions.
+
+This is the update rule introduced by Jigsaw [13] and reused by SQEM [28]
+and QuTracer (Sec. II-A, V-A, V-C): a high-fidelity *local* distribution over
+a subset of bits is used to re-weight a noisy *global* distribution so that
+the global marginal over the subset matches the local distribution.
+
+For a global distribution ``G`` over ``n`` bits and a local distribution
+``L`` over subset ``S``::
+
+    G'(x) ∝ G(x) * L(x_S) / G_S(x_S)
+
+where ``x_S`` is the restriction of ``x`` to the subset bits and ``G_S`` is
+the marginal of ``G``.  After the update, the marginal of ``G'`` over ``S``
+equals ``L`` (up to outcomes that the global distribution assigns zero
+probability; see :func:`bayesian_update` for how that corner case is
+handled).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .probability import ProbabilityDistribution
+
+__all__ = ["bayesian_update", "iterative_bayesian_update"]
+
+
+def bayesian_update(
+    global_dist: ProbabilityDistribution,
+    local_dist: ProbabilityDistribution,
+    subset_bits: Sequence[int],
+    zero_marginal_mode: str = "redistribute",
+) -> ProbabilityDistribution:
+    """Refine ``global_dist`` so its marginal over ``subset_bits`` matches ``local_dist``.
+
+    Parameters
+    ----------
+    global_dist:
+        Noisy distribution over all measured bits.
+    local_dist:
+        Higher-fidelity distribution over ``len(subset_bits)`` bits.  Bit
+        ``i`` of a local outcome corresponds to global bit ``subset_bits[i]``.
+    subset_bits:
+        Positions of the subset bits inside the global outcome.
+    zero_marginal_mode:
+        What to do with local probability mass that falls on subset outcomes
+        the global distribution assigns zero probability:
+
+        * ``"redistribute"`` (default, Jigsaw behaviour): spread that mass
+          uniformly over all global outcomes compatible with the subset
+          outcome.
+        * ``"drop"``: discard the mass and renormalise.
+    """
+    subset_bits = [int(b) for b in subset_bits]
+    if len(set(subset_bits)) != len(subset_bits):
+        raise ValueError("duplicate subset bit indices")
+    if local_dist.num_bits != len(subset_bits):
+        raise ValueError(
+            f"local distribution has {local_dist.num_bits} bits, expected {len(subset_bits)}"
+        )
+    for b in subset_bits:
+        if b < 0 or b >= global_dist.num_bits:
+            raise ValueError(f"subset bit {b} out of range for global distribution")
+    if zero_marginal_mode not in ("redistribute", "drop"):
+        raise ValueError(f"unknown zero_marginal_mode {zero_marginal_mode!r}")
+
+    global_dist = global_dist.normalized()
+    local_dist = local_dist.normalized()
+    global_marginal = global_dist.marginal(subset_bits)
+
+    updated: dict[int, float] = {}
+    for outcome, prob in global_dist.items():
+        local_outcome = _restrict(outcome, subset_bits)
+        marginal_prob = global_marginal[local_outcome]
+        if marginal_prob <= 0.0:
+            continue
+        weight = local_dist[local_outcome] / marginal_prob
+        if weight > 0.0:
+            updated[outcome] = prob * weight
+
+    if zero_marginal_mode == "redistribute":
+        num_free_bits = global_dist.num_bits - len(subset_bits)
+        compatible_count = 2**num_free_bits
+        for local_outcome, local_prob in local_dist.items():
+            if global_marginal[local_outcome] > 0.0 or local_prob <= 0.0:
+                continue
+            share = local_prob / compatible_count
+            for free_value in range(compatible_count):
+                outcome = _embed(local_outcome, free_value, subset_bits, global_dist.num_bits)
+                updated[outcome] = updated.get(outcome, 0.0) + share
+
+    if not updated:
+        # Degenerate case: the local distribution is entirely incompatible
+        # with the global support and redistribution is disabled.
+        return global_dist
+    return ProbabilityDistribution(updated, global_dist.num_bits).normalized()
+
+
+def iterative_bayesian_update(
+    global_dist: ProbabilityDistribution,
+    local_dists: Sequence[tuple[ProbabilityDistribution, Sequence[int]]],
+    rounds: int = 1,
+    zero_marginal_mode: str = "redistribute",
+) -> ProbabilityDistribution:
+    """Apply :func:`bayesian_update` for several subsets, optionally repeatedly.
+
+    Jigsaw and QuTracer refine the global distribution with one local
+    distribution per subset.  Because consecutive updates interact (enforcing
+    one marginal can slightly disturb another), callers can run multiple
+    ``rounds``, which converges to a distribution consistent with all local
+    marginals when one exists (iterative proportional fitting).
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    current = global_dist
+    for _ in range(rounds):
+        for local_dist, subset_bits in local_dists:
+            current = bayesian_update(
+                current, local_dist, subset_bits, zero_marginal_mode=zero_marginal_mode
+            )
+    return current
+
+
+def _restrict(outcome: int, subset_bits: Sequence[int]) -> int:
+    value = 0
+    for i, b in enumerate(subset_bits):
+        if (outcome >> b) & 1:
+            value |= 1 << i
+    return value
+
+
+def _embed(local_outcome: int, free_value: int, subset_bits: Sequence[int], num_bits: int) -> int:
+    """Build a global outcome from a subset outcome and the remaining bits."""
+    subset_set = set(subset_bits)
+    outcome = 0
+    for i, b in enumerate(subset_bits):
+        if (local_outcome >> i) & 1:
+            outcome |= 1 << b
+    free_positions = [b for b in range(num_bits) if b not in subset_set]
+    for i, b in enumerate(free_positions):
+        if (free_value >> i) & 1:
+            outcome |= 1 << b
+    return outcome

@@ -1,0 +1,18 @@
+"""Error-mitigation baselines: Jigsaw, PCS (+ideal), SQEM."""
+
+from .jigsaw import JigsawResult, build_subset_circuit, default_subsets, run_jigsaw
+from .pcs import PauliCheck, PCSResult, build_pcs_circuit, post_select, run_pcs
+from .sqem import run_sqem
+
+__all__ = [
+    "JigsawResult",
+    "run_jigsaw",
+    "build_subset_circuit",
+    "default_subsets",
+    "PauliCheck",
+    "PCSResult",
+    "build_pcs_circuit",
+    "post_select",
+    "run_pcs",
+    "run_sqem",
+]

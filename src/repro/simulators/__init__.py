@@ -1,0 +1,24 @@
+"""Statevector, density-matrix and trajectory simulators."""
+
+from .density_matrix import (
+    DensityMatrix,
+    noisy_distribution_density_matrix,
+    simulate_density_matrix,
+)
+from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .result import ExecutionResult
+from .statevector import Statevector, ideal_distribution, simulate_statevector
+from .trajectory import simulate_trajectories
+
+__all__ = [
+    "Statevector",
+    "DensityMatrix",
+    "ExecutionResult",
+    "simulate_statevector",
+    "simulate_density_matrix",
+    "simulate_trajectories",
+    "noisy_distribution_density_matrix",
+    "ideal_distribution",
+    "execute",
+    "DEFAULT_DENSITY_MATRIX_THRESHOLD",
+]

@@ -1,0 +1,138 @@
+"""Low-level tensor application of operators to states.
+
+Both simulators view a state as a tensor with one axis of dimension two per
+qubit.  Following numpy's row-major reshape of the integer index
+``i = sum_k b_k 2**k``, the axis for qubit ``q`` is ``num_qubits - 1 - q``.
+Gate matrices are little-endian in their wire tuple (first wire = least
+significant bit), so the wire tuple is traversed in reverse when aligning
+gate axes with state axes — the same convention as
+:func:`repro.circuits.circuit._expand_gate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "apply_matrix_to_statevector",
+    "apply_matrix_to_density_matrix",
+    "apply_kraus_to_density_matrix",
+    "statevector_probabilities",
+    "density_matrix_probabilities",
+    "reduced_density_matrix",
+    "reduced_density_matrix_from_statevector",
+]
+
+
+def _state_axes(qubits: Sequence[int], num_qubits: int) -> list[int]:
+    return [num_qubits - 1 - q for q in reversed(list(qubits))]
+
+
+def apply_matrix_to_statevector(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``matrix`` (acting on ``qubits``) to a statevector of ``num_qubits``."""
+    k = len(qubits)
+    axes = _state_axes(qubits, num_qubits)
+    tensor = state.reshape([2] * num_qubits)
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    result = np.moveaxis(moved, list(range(k)), axes)
+    return np.ascontiguousarray(result.reshape(2**num_qubits))
+
+
+def apply_matrix_to_density_matrix(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply the unitary conjugation ``M rho M^dagger`` on the given qubits."""
+    dim = 2**num_qubits
+    k = len(qubits)
+    axes_row = _state_axes(qubits, num_qubits)
+    # Column (ket-dual) axes sit after the row axes in the 2n-axis tensor.
+    axes_col = [a + num_qubits for a in axes_row]
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    gate_tensor_conj = matrix.conj().reshape([2] * (2 * k))
+
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes_row))
+    moved = np.moveaxis(moved, list(range(k)), axes_row)
+    moved = np.tensordot(gate_tensor_conj, moved, axes=(list(range(k, 2 * k)), axes_col))
+    moved = np.moveaxis(moved, list(range(k)), axes_col)
+    return np.ascontiguousarray(moved.reshape(dim, dim))
+
+
+def apply_kraus_to_density_matrix(
+    rho: np.ndarray, operators: Sequence[np.ndarray], qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a Kraus channel ``rho -> sum_k K rho K^dagger`` on the given qubits."""
+    result = np.zeros_like(rho)
+    for op in operators:
+        result += apply_matrix_to_density_matrix(rho, op, qubits, num_qubits)
+    return result
+
+
+def statevector_probabilities(
+    state: np.ndarray, qubits: Sequence[int] | None, num_qubits: int
+) -> np.ndarray:
+    """Measurement probabilities of ``qubits`` (little-endian in the result)."""
+    probs = np.abs(state) ** 2
+    if qubits is None:
+        return probs
+    return _marginalise(probs, qubits, num_qubits)
+
+
+def density_matrix_probabilities(
+    rho: np.ndarray, qubits: Sequence[int] | None, num_qubits: int
+) -> np.ndarray:
+    probs = np.real(np.diagonal(rho)).copy()
+    probs[probs < 0] = 0.0
+    if qubits is None:
+        return probs
+    return _marginalise(probs, qubits, num_qubits)
+
+
+def _marginalise(probs: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Marginal distribution over ``qubits``; bit ``i`` of the result index is
+    ``qubits[i]`` of the full index."""
+    qubits = list(qubits)
+    tensor = probs.reshape([2] * num_qubits)
+    axes_keep = _state_axes(qubits, num_qubits)
+    axes_other = [a for a in range(num_qubits) if a not in axes_keep]
+    permuted = np.transpose(tensor, axes_keep + axes_other)
+    return np.ascontiguousarray(permuted.reshape(2 ** len(qubits), -1).sum(axis=1))
+
+
+def reduced_density_matrix_from_statevector(
+    state: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Partial trace of ``|psi><psi|`` keeping ``qubits`` (little-endian order)."""
+    keep = list(qubits)
+    axes_keep = _state_axes(keep, num_qubits)
+    axes_other = [a for a in range(num_qubits) if a not in axes_keep]
+    tensor = state.reshape([2] * num_qubits)
+    permuted = np.transpose(tensor, axes_keep + axes_other)
+    matrix = permuted.reshape(2 ** len(keep), -1)
+    return matrix @ matrix.conj().T
+
+
+def reduced_density_matrix(
+    rho: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Partial trace of a density matrix keeping ``qubits`` (little-endian order)."""
+    keep = list(qubits)
+    k = len(keep)
+    axes_keep = _state_axes(keep, num_qubits)
+    axes_other = [a for a in range(num_qubits) if a not in axes_keep]
+    tensor = rho.reshape([2] * (2 * num_qubits))
+    perm = (
+        axes_keep
+        + axes_other
+        + [a + num_qubits for a in axes_keep]
+        + [a + num_qubits for a in axes_other]
+    )
+    permuted = np.transpose(tensor, perm)
+    other_dim = 2 ** (num_qubits - k)
+    reshaped = permuted.reshape(2**k, other_dim, 2**k, other_dim)
+    return np.ascontiguousarray(np.einsum("ambm->ab", reshaped))

@@ -1,0 +1,186 @@
+"""Exact noisy simulation with density matrices.
+
+Suitable for small circuits (the memory cost is ``4**n`` complex numbers);
+:func:`repro.simulators.execute.execute` switches to the trajectory
+simulator for wider circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, pauli_matrix
+from ..distributions import ProbabilityDistribution
+from ..noise import NoiseModel
+from .apply import (
+    apply_kraus_to_density_matrix,
+    apply_matrix_to_density_matrix,
+    density_matrix_probabilities,
+    reduced_density_matrix,
+)
+from .statevector import Statevector
+
+__all__ = ["DensityMatrix", "simulate_density_matrix", "noisy_distribution_density_matrix"]
+
+
+class DensityMatrix:
+    """A (possibly mixed) state on ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray, num_qubits: int | None = None) -> None:
+        array = np.asarray(data, dtype=complex)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise ValueError("density matrix must be square")
+        if num_qubits is None:
+            num_qubits = int(round(np.log2(array.shape[0])))
+        if 2**num_qubits != array.shape[0]:
+            raise ValueError("density matrix dimension is not a power of two")
+        self.num_qubits = num_qubits
+        self.data = array
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        data = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+        data[0, 0] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        return cls(np.outer(state.data, state.data.conj()), state.num_qubits)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.data)))
+
+    @property
+    def purity(self) -> float:
+        return float(np.real(np.trace(self.data @ self.data)))
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        return density_matrix_probabilities(self.data, qubits, self.num_qubits)
+
+    def probability_distribution(self, qubits: Sequence[int] | None = None) -> ProbabilityDistribution:
+        probs = self.probabilities(qubits)
+        num_bits = self.num_qubits if qubits is None else len(list(qubits))
+        total = probs.sum()
+        if total > 0:
+            probs = probs / total
+        return ProbabilityDistribution(probs, num_bits)
+
+    def reduced(self, qubits: Sequence[int]) -> "DensityMatrix":
+        return DensityMatrix(reduced_density_matrix(self.data, qubits, self.num_qubits), len(list(qubits)))
+
+    def expectation_pauli(self, pauli: Mapping[int, str] | str) -> float:
+        if isinstance(pauli, str):
+            if len(pauli) != self.num_qubits:
+                raise ValueError("Pauli label length must equal num_qubits")
+            support = [q for q, ch in enumerate(pauli) if ch.upper() != "I"]
+            sub_label = "".join(pauli[q] for q in support)
+        else:
+            support = sorted(pauli)
+            sub_label = "".join(pauli[q] for q in support)
+        if not support:
+            return self.trace
+        rho = self.reduced(support).data
+        return float(np.real(np.trace(rho @ pauli_matrix(sub_label))))
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def evolve_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        return DensityMatrix(
+            apply_matrix_to_density_matrix(self.data, matrix, qubits, self.num_qubits),
+            self.num_qubits,
+        )
+
+    def apply_channel(self, operators: Sequence[np.ndarray], qubits: Sequence[int]) -> "DensityMatrix":
+        return DensityMatrix(
+            apply_kraus_to_density_matrix(self.data, operators, qubits, self.num_qubits),
+            self.num_qubits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DensityMatrix(num_qubits={self.num_qubits}, purity={self.purity:.4f})"
+
+
+def simulate_density_matrix(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None = None,
+    initial_state: DensityMatrix | None = None,
+) -> DensityMatrix:
+    """Run the circuit, applying the noise model's channels after each gate."""
+    noise_model = noise_model or NoiseModel.ideal()
+    state = initial_state or DensityMatrix.zero_state(circuit.num_qubits)
+    if state.num_qubits != circuit.num_qubits:
+        raise ValueError("initial state width does not match the circuit")
+    rho = state.data
+    for inst in circuit.data:
+        if inst.is_barrier or inst.is_measurement:
+            continue
+        if not inst.is_gate:
+            raise ValueError(f"cannot simulate instruction {inst.name!r}")
+        rho = apply_matrix_to_density_matrix(
+            rho, inst.operation.matrix, inst.qubits, circuit.num_qubits
+        )
+        for channel, qubits in noise_model.channels_for(inst):
+            rho = apply_kraus_to_density_matrix(rho, channel.operators, qubits, circuit.num_qubits)
+    return DensityMatrix(rho, circuit.num_qubits)
+
+
+def noisy_distribution_density_matrix(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None = None,
+    initial_state: DensityMatrix | None = None,
+) -> tuple[ProbabilityDistribution, list[int]]:
+    """Exact noisy output distribution over the measured clbits.
+
+    Returns the distribution and the list of measured qubits in clbit order
+    (bit ``i`` of an outcome corresponds to ``qubits[i]``).  Readout errors
+    from the noise model are applied as classical confusion on the
+    distribution.
+    """
+    noise_model = noise_model or NoiseModel.ideal()
+    state = simulate_density_matrix(circuit, noise_model, initial_state)
+    clbit_to_qubit: dict[int, int] = {}
+    for inst in circuit.data:
+        if inst.is_measurement:
+            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+    if clbit_to_qubit:
+        clbits = sorted(clbit_to_qubit)
+        qubits = [clbit_to_qubit[c] for c in clbits]
+    else:
+        qubits = list(range(circuit.num_qubits))
+    distribution = state.probability_distribution(qubits)
+    flip = {}
+    for bit, qubit in enumerate(qubits):
+        error = noise_model.readout_error(qubit)
+        if error is not None:
+            # Asymmetric errors need the full confusion treatment; apply the
+            # 2x2 confusion exactly per bit.
+            distribution = _apply_confusion_bit(distribution, bit, error.confusion_matrix)
+    return distribution, qubits
+
+
+def _apply_confusion_bit(
+    distribution: ProbabilityDistribution, bit: int, confusion: np.ndarray
+) -> ProbabilityDistribution:
+    updated: dict[int, float] = {}
+    for outcome, prob in distribution.items():
+        actual = (outcome >> bit) & 1
+        for measured in (0, 1):
+            weight = confusion[measured, actual]
+            if weight <= 0:
+                continue
+            new_outcome = (outcome & ~(1 << bit)) | (measured << bit)
+            updated[new_outcome] = updated.get(new_outcome, 0.0) + prob * weight
+    return ProbabilityDistribution(updated, distribution.num_bits)

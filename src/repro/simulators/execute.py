@@ -1,0 +1,125 @@
+"""Unified execution front-end used by the mitigation and QuTracer layers.
+
+:func:`execute` picks the cheapest simulation method that is exact enough:
+
+* no noise → statevector;
+* noisy and narrow (``num_qubits <= density_matrix_threshold``) → exact
+  density-matrix simulation (readout errors applied as exact confusion);
+* noisy and wide → Monte-Carlo trajectories with sampled readout flips.
+
+Callers that need reproducible statistics pass ``seed``; all stochastic paths
+derive their randomness from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..circuits import QuantumCircuit
+from ..noise import NoiseModel
+from .density_matrix import noisy_distribution_density_matrix
+from .result import ExecutionResult
+from .statevector import ideal_distribution
+from .trajectory import simulate_trajectories
+
+__all__ = ["execute", "DEFAULT_DENSITY_MATRIX_THRESHOLD"]
+
+DEFAULT_DENSITY_MATRIX_THRESHOLD = 10
+
+
+def execute(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None = None,
+    shots: int | None = None,
+    seed: int | None = None,
+    method: str = "auto",
+    density_matrix_threshold: int = DEFAULT_DENSITY_MATRIX_THRESHOLD,
+    max_trajectories: int = 600,
+    metadata: dict[str, Any] | None = None,
+) -> ExecutionResult:
+    """Run a circuit and return its measured-output distribution.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to run.  If it has measurement instructions, the result
+        distribution is over those clbits; otherwise over all qubits.
+    noise_model:
+        Gate and readout noise; ``None`` means ideal execution.
+    shots:
+        If given, the returned distribution is estimated from this many
+        samples (and ``counts`` is populated).  Exact methods return the
+        exact distribution when ``shots`` is ``None``.
+    method:
+        ``"auto"`` (default), ``"statevector"``, ``"density_matrix"`` or
+        ``"trajectory"``.
+    """
+    noise_model = noise_model or NoiseModel.ideal()
+    if method not in ("auto", "statevector", "density_matrix", "trajectory"):
+        raise ValueError(f"unknown method {method!r}")
+
+    if method == "auto":
+        if noise_model.is_ideal:
+            method = "statevector"
+        elif circuit.num_qubits <= density_matrix_threshold:
+            method = "density_matrix"
+        else:
+            method = "trajectory"
+
+    metadata = dict(metadata or {})
+    if method == "statevector":
+        if not noise_model.is_ideal:
+            raise ValueError("the statevector method cannot apply noise")
+        distribution = ideal_distribution(circuit)
+        measured = circuit.measured_qubits or list(range(circuit.num_qubits))
+        measured_qubits = _clbit_ordered_qubits(circuit)
+        result = ExecutionResult(
+            distribution=distribution,
+            measured_qubits=measured_qubits,
+            method="statevector",
+            metadata=metadata,
+        )
+    elif method == "density_matrix":
+        distribution, measured_qubits = noisy_distribution_density_matrix(circuit, noise_model)
+        result = ExecutionResult(
+            distribution=distribution,
+            measured_qubits=measured_qubits,
+            method="density_matrix",
+            metadata=metadata,
+        )
+    else:
+        counts, measured_qubits = simulate_trajectories(
+            circuit,
+            noise_model,
+            shots=shots or 4096,
+            seed=seed,
+            max_trajectories=max_trajectories,
+        )
+        return ExecutionResult(
+            distribution=counts.to_distribution(),
+            measured_qubits=measured_qubits,
+            counts=counts,
+            shots=counts.shots,
+            method="trajectory",
+            metadata=metadata,
+        )
+
+    if shots is not None:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        counts = result.distribution.sample(shots, rng)
+        result.counts = counts
+        result.shots = shots
+        result.distribution = counts.to_distribution()
+    return result
+
+
+def _clbit_ordered_qubits(circuit: QuantumCircuit) -> list[int]:
+    clbit_to_qubit: dict[int, int] = {}
+    for inst in circuit.data:
+        if inst.is_measurement:
+            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+    if not clbit_to_qubit:
+        return list(range(circuit.num_qubits))
+    return [clbit_to_qubit[c] for c in sorted(clbit_to_qubit)]

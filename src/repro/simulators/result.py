@@ -1,0 +1,57 @@
+"""Execution results returned by :func:`repro.simulators.execute.execute`."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..distributions import Counts, ProbabilityDistribution
+
+__all__ = ["ExecutionResult"]
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Output of a (possibly noisy) circuit execution.
+
+    Attributes
+    ----------
+    distribution:
+        Probability distribution over the measured bits.  Bit ``i`` of an
+        outcome corresponds to ``measured_qubits[i]``.
+    measured_qubits:
+        Qubits backing each bit of the distribution, in clbit order.
+    counts:
+        Raw shot counts when the execution was sampled (``None`` for exact
+        methods without sampling).
+    shots:
+        Number of shots sampled, if any.
+    method:
+        Simulation method actually used: ``"statevector"``,
+        ``"density_matrix"`` or ``"trajectory"``.
+    metadata:
+        Free-form extras (e.g. the noise model name).
+    """
+
+    distribution: ProbabilityDistribution
+    measured_qubits: list[int]
+    counts: Counts | None = None
+    shots: int | None = None
+    method: str = "statevector"
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def num_bits(self) -> int:
+        return self.distribution.num_bits
+
+    def bit_for_qubit(self, qubit: int) -> int:
+        """Position of ``qubit`` inside the outcome bitstrings."""
+        try:
+            return self.measured_qubits.index(qubit)
+        except ValueError as exc:
+            raise KeyError(f"qubit {qubit} was not measured") from exc
+
+    def marginal_for_qubits(self, qubits: list[int]) -> ProbabilityDistribution:
+        """Marginal distribution over the given qubits (in the given order)."""
+        bits = [self.bit_for_qubit(q) for q in qubits]
+        return self.distribution.marginal(bits)

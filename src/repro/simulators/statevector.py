@@ -1,0 +1,138 @@
+"""Ideal (noise-free) statevector simulation."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, pauli_matrix
+from ..distributions import ProbabilityDistribution
+from .apply import (
+    apply_matrix_to_statevector,
+    reduced_density_matrix_from_statevector,
+    statevector_probabilities,
+)
+
+__all__ = ["Statevector", "simulate_statevector", "ideal_distribution"]
+
+
+class Statevector:
+    """A pure state on ``num_qubits`` qubits (little-endian indexing)."""
+
+    def __init__(self, data: np.ndarray | Sequence[complex], num_qubits: int | None = None) -> None:
+        array = np.asarray(data, dtype=complex).reshape(-1)
+        if num_qubits is None:
+            num_qubits = int(round(np.log2(array.size)))
+        if 2**num_qubits != array.size:
+            raise ValueError(f"statevector length {array.size} is not 2**{num_qubits}")
+        norm = np.linalg.norm(array)
+        if norm < 1e-12:
+            raise ValueError("statevector has zero norm")
+        self.num_qubits = num_qubits
+        self.data = array / norm
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def from_int(cls, value: int, num_qubits: int) -> "Statevector":
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[value] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Bitstring label, most-significant qubit first (Qiskit convention)."""
+        return cls.from_int(int(label, 2), len(label))
+
+    # ------------------------------------------------------------------
+    # Evolution and measurement
+    # ------------------------------------------------------------------
+
+    def evolve_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        new_data = apply_matrix_to_statevector(self.data, matrix, qubits, self.num_qubits)
+        return Statevector(new_data, self.num_qubits)
+
+    def evolve_circuit(self, circuit: QuantumCircuit) -> "Statevector":
+        state = self.data
+        for inst in circuit.data:
+            if inst.is_barrier or inst.is_measurement:
+                continue
+            if not inst.is_gate:
+                raise ValueError(f"cannot apply non-unitary instruction {inst.name!r}")
+            state = apply_matrix_to_statevector(
+                state, inst.operation.matrix, inst.qubits, self.num_qubits
+            )
+        return Statevector(state, self.num_qubits)
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        return statevector_probabilities(self.data, qubits, self.num_qubits)
+
+    def probability_distribution(self, qubits: Sequence[int] | None = None) -> ProbabilityDistribution:
+        probs = self.probabilities(qubits)
+        num_bits = self.num_qubits if qubits is None else len(list(qubits))
+        return ProbabilityDistribution(probs, num_bits)
+
+    def reduced_density_matrix(self, qubits: Sequence[int]) -> np.ndarray:
+        return reduced_density_matrix_from_statevector(self.data, qubits, self.num_qubits)
+
+    def expectation_pauli(self, pauli: Mapping[int, str] | str) -> float:
+        """Expectation value of a Pauli string.
+
+        ``pauli`` is either a mapping qubit -> letter, or a full little-endian
+        label of length ``num_qubits``.
+        """
+        if isinstance(pauli, str):
+            label = pauli
+            if len(label) != self.num_qubits:
+                raise ValueError("Pauli label length must equal num_qubits")
+            support = [q for q, ch in enumerate(label) if ch.upper() != "I"]
+            sub_label = "".join(label[q] for q in support)
+        else:
+            support = sorted(pauli)
+            sub_label = "".join(pauli[q] for q in support)
+        if not support:
+            return 1.0
+        rho = self.reduced_density_matrix(support)
+        observable = pauli_matrix(sub_label)
+        return float(np.real(np.trace(rho @ observable)))
+
+    def fidelity(self, other: "Statevector") -> float:
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Statevector(num_qubits={self.num_qubits})"
+
+
+def simulate_statevector(circuit: QuantumCircuit, initial_state: Statevector | None = None) -> Statevector:
+    """Run ``circuit`` without noise and return the final statevector."""
+    state = initial_state or Statevector.zero_state(circuit.num_qubits)
+    if state.num_qubits != circuit.num_qubits:
+        raise ValueError("initial state width does not match the circuit")
+    return state.evolve_circuit(circuit)
+
+
+def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
+    """Noise-free output distribution over the circuit's measured bits.
+
+    If the circuit has measurements, the distribution is over the measured
+    clbits (sorted); otherwise it is over all qubits.
+    """
+    state = simulate_statevector(circuit)
+    clbit_to_qubit: dict[int, int] = {}
+    for inst in circuit.data:
+        if inst.is_measurement:
+            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+    if not clbit_to_qubit:
+        return state.probability_distribution()
+    clbits = sorted(clbit_to_qubit)
+    qubits = [clbit_to_qubit[c] for c in clbits]
+    return state.probability_distribution(qubits)

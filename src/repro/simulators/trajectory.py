@@ -1,0 +1,144 @@
+"""Monte-Carlo (quantum trajectory) simulation of noisy circuits.
+
+The exact density-matrix simulator needs ``4**n`` memory, which rules out the
+paper's 12-15 qubit VQE workloads.  The trajectory simulator keeps a pure
+statevector and, after each gate, samples one Kraus operator of the noise
+channel with the Born probability ``<psi| K^dagger K |psi>``.  Averaging over
+trajectories (and sampling measurement shots within each trajectory)
+converges to the density-matrix result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..distributions import Counts
+from ..noise import NoiseModel
+from .apply import (
+    apply_matrix_to_statevector,
+    reduced_density_matrix_from_statevector,
+    statevector_probabilities,
+)
+
+__all__ = ["simulate_trajectories"]
+
+
+def simulate_trajectories(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None = None,
+    shots: int = 4096,
+    seed: int | None = None,
+    max_trajectories: int = 600,
+) -> tuple[Counts, list[int]]:
+    """Sample ``shots`` noisy measurement outcomes.
+
+    Returns the counts and the list of measured qubits in clbit order (bit
+    ``i`` of an outcome corresponds to ``qubits[i]``).
+
+    ``max_trajectories`` bounds the number of independent noise realisations;
+    measurement shots are spread evenly across trajectories.  For ideal noise
+    models a single trajectory is used.
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    noise_model = noise_model or NoiseModel.ideal()
+    rng = np.random.default_rng(seed)
+
+    clbit_to_qubit: dict[int, int] = {}
+    for inst in circuit.data:
+        if inst.is_measurement:
+            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+    if clbit_to_qubit:
+        clbits = sorted(clbit_to_qubit)
+        measured_qubits = [clbit_to_qubit[c] for c in clbits]
+    else:
+        measured_qubits = list(range(circuit.num_qubits))
+
+    num_trajectories = 1 if not noise_model.has_gate_errors else min(shots, max_trajectories)
+    shots_per_trajectory = _spread(shots, num_trajectories)
+
+    readout = noise_model.readout_errors_for(measured_qubits)
+    flip_given_0 = np.array(
+        [readout[q].prob_1_given_0 if q in readout else 0.0 for q in measured_qubits]
+    )
+    flip_given_1 = np.array(
+        [readout[q].prob_0_given_1 if q in readout else 0.0 for q in measured_qubits]
+    )
+
+    counts: dict[int, int] = {}
+    num_qubits = circuit.num_qubits
+    for trajectory_shots in shots_per_trajectory:
+        state = _run_single_trajectory(circuit, noise_model, rng)
+        probs = statevector_probabilities(state, measured_qubits, num_qubits)
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        outcomes = rng.choice(probs.size, size=trajectory_shots, p=probs)
+        for outcome in outcomes:
+            measured = _apply_readout_flips(int(outcome), flip_given_0, flip_given_1, rng)
+            counts[measured] = counts.get(measured, 0) + 1
+    return Counts(counts, len(measured_qubits)), measured_qubits
+
+
+def _spread(total: int, parts: int) -> list[int]:
+    base = total // parts
+    remainder = total % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def _run_single_trajectory(
+    circuit: QuantumCircuit, noise_model: NoiseModel, rng: np.random.Generator
+) -> np.ndarray:
+    num_qubits = circuit.num_qubits
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    for inst in circuit.data:
+        if inst.is_barrier or inst.is_measurement:
+            continue
+        if not inst.is_gate:
+            raise ValueError(f"cannot simulate instruction {inst.name!r}")
+        state = apply_matrix_to_statevector(state, inst.operation.matrix, inst.qubits, num_qubits)
+        for channel, qubits in noise_model.channels_for(inst):
+            if channel.is_identity():
+                continue
+            state = _apply_channel_stochastically(state, channel.operators, qubits, num_qubits, rng)
+    return state
+
+
+def _apply_channel_stochastically(
+    state: np.ndarray,
+    operators: list[np.ndarray],
+    qubits: tuple[int, ...],
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if len(operators) == 1:
+        new_state = apply_matrix_to_statevector(state, operators[0], qubits, num_qubits)
+        norm = np.linalg.norm(new_state)
+        return new_state / norm if norm > 0 else new_state
+    # Born probabilities only involve the reduced state on the channel's qubits.
+    rho = reduced_density_matrix_from_statevector(state, qubits, num_qubits)
+    probs = np.array([max(float(np.real(np.trace(op.conj().T @ op @ rho))), 0.0) for op in operators])
+    total = probs.sum()
+    if total <= 0:  # pragma: no cover - numerically degenerate state
+        probs = np.full(len(operators), 1.0 / len(operators))
+    else:
+        probs = probs / total
+    index = int(rng.choice(len(operators), p=probs))
+    new_state = apply_matrix_to_statevector(state, operators[index], qubits, num_qubits)
+    norm = np.linalg.norm(new_state)
+    if norm <= 1e-15:  # pragma: no cover - selected operator annihilated the state
+        return state
+    return new_state / norm
+
+
+def _apply_readout_flips(
+    outcome: int, flip_given_0: np.ndarray, flip_given_1: np.ndarray, rng: np.random.Generator
+) -> int:
+    measured = outcome
+    for bit in range(flip_given_0.size):
+        actual = (outcome >> bit) & 1
+        flip_prob = flip_given_1[bit] if actual else flip_given_0[bit]
+        if flip_prob > 0.0 and rng.random() < flip_prob:
+            measured ^= 1 << bit
+    return measured

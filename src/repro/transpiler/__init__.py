@@ -1,0 +1,26 @@
+"""Lightweight transpiler: basis translation, noise-aware layout, routing."""
+
+from .basis import (
+    BASIS_GATES,
+    count_two_qubit_basis_gates,
+    decompose_to_basis,
+    euler_zyz_angles,
+)
+from .coupling import CouplingMap
+from .layout import Layout, noise_aware_layout, trivial_layout
+from .routing import route_circuit
+from .transpile import TranspileResult, transpile
+
+__all__ = [
+    "BASIS_GATES",
+    "decompose_to_basis",
+    "count_two_qubit_basis_gates",
+    "euler_zyz_angles",
+    "CouplingMap",
+    "Layout",
+    "noise_aware_layout",
+    "trivial_layout",
+    "route_circuit",
+    "transpile",
+    "TranspileResult",
+]

@@ -1,0 +1,53 @@
+"""SWAP routing for circuits whose two-qubit gates span non-adjacent qubits."""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+from .coupling import CouplingMap
+
+__all__ = ["route_circuit"]
+
+
+def route_circuit(circuit: QuantumCircuit, coupling: CouplingMap) -> QuantumCircuit:
+    """Insert SWAPs so every two-qubit gate acts on coupled qubits.
+
+    A simple greedy router: when a gate's operands are not adjacent, the
+    first operand is swapped along the shortest path until it neighbours the
+    second.  The logical-to-physical assignment therefore drifts during the
+    circuit; measurements are rewritten so the measured *logical* bits stay
+    the same, which is what the fidelity comparison needs.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError("circuit does not fit on the coupling map")
+    # position[logical] = physical wire currently holding that logical qubit
+    position = {q: q for q in range(coupling.num_qubits)}
+    routed = QuantumCircuit(coupling.num_qubits, circuit.num_clbits, f"{circuit.name}_routed")
+    routed.metadata = dict(circuit.metadata)
+
+    def physical(logical: int) -> int:
+        return position[logical]
+
+    def swap(a_physical: int, b_physical: int) -> None:
+        routed.swap(a_physical, b_physical)
+        inverse = {v: k for k, v in position.items()}
+        logical_a, logical_b = inverse[a_physical], inverse[b_physical]
+        position[logical_a], position[logical_b] = b_physical, a_physical
+
+    for inst in circuit.data:
+        if inst.is_barrier:
+            continue
+        if inst.is_measurement:
+            routed.measure(physical(inst.qubits[0]), inst.clbits[0])
+            continue
+        if len(inst.qubits) == 1:
+            routed.append(inst.operation, (physical(inst.qubits[0]),))
+            continue
+        if len(inst.qubits) == 2:
+            a, b = inst.qubits
+            while not coupling.are_adjacent(physical(a), physical(b)):
+                path = coupling.shortest_path(physical(a), physical(b))
+                swap(path[0], path[1])
+            routed.append(inst.operation, (physical(a), physical(b)))
+            continue
+        raise NotImplementedError("route two-qubit circuits only (decompose first)")
+    return routed

@@ -1,0 +1,278 @@
+"""Tests for the QuTracer core: analysis, optimizations, QSPC and the driver."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import iqft_benchmark_circuit, qpe_circuit, vqe_circuit
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    QSPCOptions,
+    QuTracer,
+    QuTracerOptions,
+    all_pauli_strings,
+    analyse_subset,
+    apply_local_unitary,
+    conjugate_observables_through,
+    default_subsets,
+    extract_leading_local_gates,
+    extract_trailing_local_gates,
+    false_dependency_removal,
+    virtual_pauli_check,
+)
+from repro.distributions import hellinger_fidelity
+from repro.noise import NoiseModel, fake_hanoi
+from repro.simulators import execute, ideal_distribution, simulate_statevector
+
+
+class TestAnalysis:
+    def test_vqe_segmentation(self):
+        circuit = vqe_circuit(4, 2, seed=1, measure=False)
+        analysis = analyse_subset(circuit, [0])
+        kinds = [s.kind for s in analysis.segments]
+        # local Ry, entangling layer (+context), local Ry, entangling, local Ry(+ trailing context)
+        assert kinds.count("local") >= 3
+        assert sum(1 for s in analysis.segments if s.kind == "checked" and s.touches_subset([0])) == 2
+        assert analysis.num_checked_layers >= 2
+
+    def test_cz_layers_are_checkable(self):
+        qc = QuantumCircuit(3)
+        qc.cz(0, 1).cz(1, 2)
+        analysis = analyse_subset(qc, [0])
+        assert all(s.kind == "checked" for s in analysis.segments)
+
+    def test_cx_target_on_subset_is_unchecked(self):
+        qc = QuantumCircuit(2)
+        qc.cx(1, 0)  # target on subset qubit 0: X-type action, not Z-checkable
+        analysis = analyse_subset(qc, [0])
+        assert analysis.segments[0].kind == "unchecked"
+
+    def test_validation(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            analyse_subset(qc, [0, 0])
+        with pytest.raises(ValueError):
+            analyse_subset(qc, [5])
+
+    def test_default_subsets(self):
+        assert default_subsets([0, 1, 2], 1) == [[0], [1], [2]]
+        assert default_subsets([0, 1, 2, 3], 2) == [[0, 1], [2, 3]]
+        with pytest.raises(ValueError):
+            default_subsets([0], 0)
+
+
+class TestOptimizations:
+    def test_false_dependency_removal_qpe_pattern(self):
+        # Controlled-phase gates that commute to the end and act outside the
+        # subset must be removed (the paper's Fig. 5(c) -> (d) step).
+        qc = QuantumCircuit(4)
+        qc.cp(0.3, 0, 3)
+        qc.cp(0.5, 1, 3)
+        qc.cp(0.7, 2, 3)
+        pruned = false_dependency_removal(qc, [2])
+        assert pruned.count_ops().get("cp", 0) == 1
+        assert pruned.data[0].qubits == (2, 3)
+
+    def test_false_dependency_removal_keeps_needed_gates(self):
+        qc = QuantumCircuit(3)
+        qc.h(1)
+        qc.cx(1, 0)  # affects the subset directly
+        qc.cx(1, 2)
+        pruned = false_dependency_removal(qc, [0])
+        names = [(inst.name, inst.qubits) for inst in pruned.data]
+        assert ("cx", (1, 0)) in names
+        assert ("h", (1,)) in names
+        assert ("cx", (1, 2)) not in names
+
+    def test_false_dependency_removal_plain_cone(self):
+        qc = QuantumCircuit(3)
+        qc.h(2).cx(2, 1)
+        pruned = false_dependency_removal(qc, [0])
+        assert len(pruned.data) == 0
+
+    def test_extract_leading_local_gates(self):
+        qc = QuantumCircuit(2)
+        qc.ry(0.3, 0).h(1).cz(0, 1).ry(0.4, 0)
+        local, remainder = extract_leading_local_gates(qc, [0])
+        assert [g.name for g in local] == ["ry"]
+        assert remainder.count_ops()["cz"] == 1
+        assert remainder.count_ops()["ry"] == 1
+
+    def test_extract_trailing_local_gates(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1).h(0).rz(0.2, 0)
+        remainder, trailing = extract_trailing_local_gates(qc, [0])
+        assert [g.name for g in trailing] == ["h", "rz"]
+        assert remainder.count_ops() == {"cz": 1}
+
+    def test_apply_local_unitary(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        flipped = apply_local_unitary(rho, qc.data, [0])
+        assert flipped[1, 1] == pytest.approx(1.0)
+
+    def test_conjugate_observables_through_hadamard(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        mapping = conjugate_observables_through(["Z"], qc.data, [0])
+        assert set(mapping["Z"]) == {"X"}
+        assert mapping["Z"]["X"] == pytest.approx(1.0)
+
+    def test_conjugate_observables_no_gates(self):
+        assert conjugate_observables_through(["Z"], [], [0]) == {"Z": {"Z": 1.0}}
+
+
+class TestVirtualPauliCheck:
+    def test_mitigates_readout_error_on_z(self):
+        segment = QuantumCircuit(1)
+        segment.id(0)
+        noise = NoiseModel.depolarizing(readout=0.25)
+        rho_one = np.array([[0, 0], [0, 1]], dtype=complex)
+        checked = virtual_pauli_check(segment, [0], rho_one, ["Z"], noise, observables=["Z"])
+        unchecked = virtual_pauli_check(segment, [0], rho_one, [], noise, observables=["Z"])
+        assert checked.expectations["Z"] == pytest.approx(-1.0, abs=0.02)
+        assert unchecked.expectations["Z"] == pytest.approx(-0.5, abs=0.02)
+
+    def test_mitigates_bit_flip_gate_errors(self):
+        from repro.noise import bit_flip_channel
+
+        segment = QuantumCircuit(2)
+        segment.cz(0, 1)
+        noise = NoiseModel()
+        noise.set_default_2q_error(bit_flip_channel(0.2).tensor(bit_flip_channel(0.0)))
+        rho_zero = np.array([[1, 0], [0, 0]], dtype=complex)
+        checked = virtual_pauli_check(segment, [0], rho_zero, ["Z"], noise, observables=["Z"])
+        unchecked = virtual_pauli_check(segment, [0], rho_zero, [], noise, observables=["Z"])
+        assert checked.expectations["Z"] == pytest.approx(1.0, abs=0.02)
+        assert unchecked.expectations["Z"] < 0.7
+
+    def test_noiseless_check_is_exact(self):
+        segment = QuantumCircuit(2)
+        segment.h(1).cz(0, 1)
+        rho_plus = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        result = virtual_pauli_check(segment, [0], rho_plus, ["Z"], NoiseModel.ideal())
+        # Ideal output: qubit 0 becomes maximally mixed after entangling.
+        assert np.allclose(result.density_matrix, np.eye(2) / 2, atol=1e-6)
+
+    def test_circuit_count_bounded_by_paper_limit(self):
+        segment = QuantumCircuit(2)
+        segment.cz(0, 1)
+        noise = NoiseModel.depolarizing(p2=0.01)
+        result = virtual_pauli_check(
+            segment, [0], np.eye(2) / 2, ["Z"], noise, observables=all_pauli_strings(1)
+        )
+        # Paper Sec. IV-B: at most 30 circuits for all three bases; the
+        # reduced preparation basis needs 4 preps x 3 bases = 12 here.
+        assert result.num_circuits <= 30
+
+    def test_full_basis_option_costs_more(self):
+        segment = QuantumCircuit(2)
+        segment.cz(0, 1)
+        noise = NoiseModel.depolarizing(p2=0.01)
+        reduced = virtual_pauli_check(segment, [0], np.eye(2) / 2, ["Z"], noise, observables=["Z"])
+        full = virtual_pauli_check(
+            segment,
+            [0],
+            np.eye(2) / 2,
+            ["Z"],
+            noise,
+            observables=["Z"],
+            options=QSPCOptions(state_preparation_reduction=False, restrict_measurement_bases=False),
+        )
+        assert full.num_circuits > reduced.num_circuits
+
+    def test_subset_size_two_checks(self):
+        segment = QuantumCircuit(3)
+        segment.cz(0, 1).cz(1, 2)
+        noise = NoiseModel.depolarizing(p2=0.02, readout=0.1)
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[0, 0] = 1.0
+        result = virtual_pauli_check(
+            segment, [0, 1], rho, ["ZI", "IZ"], noise, observables=["ZI", "IZ", "ZZ"]
+        )
+        assert result.expectations["ZI"] == pytest.approx(1.0, abs=0.05)
+        assert result.expectations["IZ"] == pytest.approx(1.0, abs=0.05)
+        assert result.z_distribution[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_input_validation(self):
+        segment = QuantumCircuit(1)
+        with pytest.raises(ValueError):
+            virtual_pauli_check(segment, [0], np.eye(4) / 4, ["Z"], NoiseModel.ideal())
+        with pytest.raises(ValueError):
+            virtual_pauli_check(segment, [0], np.eye(2) / 2, ["ZZ"], NoiseModel.ideal())
+        with pytest.raises(ValueError):
+            virtual_pauli_check(segment, [0], np.eye(2) / 2, ["Z"], NoiseModel.ideal(), observables=["ZZ"])
+
+
+class TestQuTracerDriver:
+    def setup_method(self):
+        self.noise = NoiseModel.depolarizing(p1=0.002, p2=0.02, readout=0.08)
+
+    def test_improves_iqft_fidelity(self):
+        circuit = iqft_benchmark_circuit(3, value=5)
+        tracer = QuTracer(noise_model=self.noise, shots=8000, shots_per_circuit=None, seed=1)
+        result = tracer.run(circuit, subset_size=1)
+        assert result.mitigated_fidelity > result.unmitigated_fidelity
+        assert result.mitigated_fidelity > 0.7
+
+    def test_improves_vqe_fidelity(self):
+        circuit = vqe_circuit(5, 1, seed=2)
+        tracer = QuTracer(noise_model=self.noise, shots=8000, shots_per_circuit=None, seed=1)
+        result = tracer.run(circuit, subset_size=1)
+        assert result.mitigated_fidelity >= result.unmitigated_fidelity
+
+    def test_local_distributions_are_accurate(self):
+        circuit = vqe_circuit(5, 1, seed=2)
+        stripped = circuit.remove_final_measurements()
+        state = simulate_statevector(stripped)
+        tracer = QuTracer(noise_model=self.noise, shots=4000, shots_per_circuit=None, seed=1)
+        for qubit in range(3):
+            result = tracer.trace_subset(stripped, [qubit])
+            ideal_local = state.probability_distribution([qubit])
+            assert hellinger_fidelity(result.local_distribution, ideal_local) > 0.98
+
+    def test_overhead_accounting(self):
+        circuit = vqe_circuit(4, 1, seed=0)
+        tracer = QuTracer(noise_model=self.noise, shots=4000, shots_per_circuit=400, seed=1)
+        result = tracer.run(circuit, subset_size=1)
+        assert result.num_circuits > 1
+        assert result.normalized_shots > 1.0
+        assert result.average_copy_two_qubit_gates < circuit.num_two_qubit_gates()
+
+    def test_checked_layers_parameter(self):
+        circuit = vqe_circuit(4, 2, seed=0)
+        tracer = QuTracer(noise_model=self.noise, shots=4000, shots_per_circuit=None, seed=1)
+        all_layers = tracer.run(circuit, subset_size=1)
+        none_checked = tracer.run(circuit, subset_size=1, checked_layers=0)
+        assert all_layers.subset_results[0].num_checked_layers == 2
+        assert none_checked.subset_results[0].num_checked_layers == 0
+        assert all_layers.mitigated_fidelity >= none_checked.mitigated_fidelity - 0.05
+
+    def test_subset_size_two(self):
+        circuit = vqe_circuit(4, 1, seed=0)
+        tracer = QuTracer(noise_model=self.noise, shots=4000, shots_per_circuit=None, seed=1)
+        result = tracer.run(circuit, subset_size=2)
+        assert len(result.subset_results) == 2
+        assert result.mitigated_fidelity >= result.unmitigated_fidelity - 0.05
+
+    def test_device_mode_remaps_to_good_qubits(self):
+        device = fake_hanoi()
+        circuit = vqe_circuit(4, 1, seed=0)
+        tracer = QuTracer(device=device, shots=4000, shots_per_circuit=None, seed=1)
+        result = tracer.run(circuit, subset_size=1)
+        assert result.mitigated_fidelity >= result.unmitigated_fidelity - 0.02
+
+    def test_requires_noise_or_device(self):
+        with pytest.raises(ValueError):
+            QuTracer()
+
+    def test_subset_must_be_measured(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).measure_subset([0])
+        tracer = QuTracer(noise_model=self.noise, shots=1000)
+        with pytest.raises(ValueError):
+            tracer.run(circuit, subsets=[[2]])
+
+    def test_options_dataclass_defaults(self):
+        options = QuTracerOptions()
+        assert options.enable_checks and options.false_dependency_removal

@@ -1,0 +1,302 @@
+"""Tests for noise channels, readout errors, noise models and devices."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Instruction, QuantumCircuit, standard_gate
+from repro.noise import (
+    KrausChannel,
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    depolarizing_from_average_infidelity,
+    fake_cusco,
+    fake_device,
+    fake_hanoi,
+    fake_kyoto,
+    fake_mumbai,
+    falcon_27_coupling,
+    heavy_hex_coupling,
+    identity_channel,
+    linear_coupling,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+
+
+def _maximally_mixed(n=1):
+    return np.eye(2**n) / 2**n
+
+
+class TestKrausChannel:
+    def test_rejects_non_trace_preserving(self):
+        with pytest.raises(ValueError):
+            KrausChannel([np.array([[0.5, 0], [0, 0.5]])])
+
+    def test_identity_channel(self):
+        channel = identity_channel(1)
+        assert channel.is_identity()
+        rho = np.array([[0.7, 0.2], [0.2, 0.3]], dtype=complex)
+        assert np.allclose(channel.apply_to_density_matrix(rho), rho)
+
+    def test_depolarizing_moves_towards_mixed(self):
+        channel = depolarizing_channel(1.0, 1)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        assert np.allclose(channel.apply_to_density_matrix(rho), _maximally_mixed())
+
+    def test_depolarizing_partial(self):
+        p = 0.2
+        channel = depolarizing_channel(p, 1)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        expected = (1 - p) * rho + p * _maximally_mixed()
+        assert np.allclose(channel.apply_to_density_matrix(rho), expected)
+
+    def test_depolarizing_two_qubit_dimensions(self):
+        channel = depolarizing_channel(0.1, 2)
+        assert channel.num_qubits == 2
+        assert len(channel.operators) == 16
+
+    def test_bit_flip_channel(self):
+        channel = bit_flip_channel(0.25)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = channel.apply_to_density_matrix(rho)
+        assert out[1, 1] == pytest.approx(0.25)
+
+    def test_phase_flip_kills_coherence(self):
+        channel = phase_flip_channel(0.5)
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out = channel.apply_to_density_matrix(rho)
+        assert abs(out[0, 1]) == pytest.approx(0.0)
+
+    def test_pauli_channel_probability_validation(self):
+        with pytest.raises(ValueError):
+            pauli_channel({"X": 0.7, "Z": 0.5})
+        with pytest.raises(ValueError):
+            pauli_channel({"XY": 0.1}, num_qubits=1)
+        with pytest.raises(ValueError):
+            pauli_channel({"X": -0.1})
+
+    def test_amplitude_damping_decays_excited_state(self):
+        channel = amplitude_damping_channel(0.3)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = channel.apply_to_density_matrix(rho)
+        assert out[0, 0] == pytest.approx(0.3)
+        assert out[1, 1] == pytest.approx(0.7)
+
+    def test_phase_damping_preserves_populations(self):
+        channel = phase_damping_channel(0.4)
+        rho = np.array([[0.6, 0.3], [0.3, 0.4]], dtype=complex)
+        out = channel.apply_to_density_matrix(rho)
+        assert out[0, 0] == pytest.approx(0.6)
+        assert abs(out[0, 1]) < 0.3
+
+    def test_thermal_relaxation_limits(self):
+        channel = thermal_relaxation_channel(t1=100.0, t2=150.0, gate_time=50.0)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = channel.apply_to_density_matrix(rho)
+        assert out[0, 0] == pytest.approx(1 - np.exp(-0.5), rel=1e-6)
+
+    def test_thermal_relaxation_zero_time_is_identity(self):
+        assert thermal_relaxation_channel(100.0, 100.0, 0.0).is_identity()
+
+    def test_thermal_relaxation_validation(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(-1, 10, 1)
+        with pytest.raises(ValueError):
+            thermal_relaxation_channel(10, 30, 1)  # t2 > 2 t1
+
+    def test_compose_and_reduce(self):
+        a = depolarizing_channel(0.1, 1)
+        b = amplitude_damping_channel(0.2)
+        composed = a.compose(b)
+        reduced = composed.reduced()
+        assert len(reduced.operators) <= 4
+        rho = np.array([[0.8, 0.1], [0.1, 0.2]], dtype=complex)
+        assert np.allclose(
+            composed.apply_to_density_matrix(rho), reduced.apply_to_density_matrix(rho)
+        )
+
+    def test_tensor_acts_on_correct_qubits(self):
+        # bit flip on low qubit, identity on high qubit
+        channel = bit_flip_channel(1.0).tensor(identity_channel(1))
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[0, 0] = 1.0
+        out = channel.apply_to_density_matrix(rho)
+        assert out[0b01, 0b01] == pytest.approx(1.0)
+
+    def test_average_gate_fidelity(self):
+        assert identity_channel().average_gate_fidelity() == pytest.approx(1.0)
+        assert depolarizing_channel(1.0, 1).average_gate_fidelity() == pytest.approx(0.5)
+
+    def test_channel_width_checks(self):
+        with pytest.raises(ValueError):
+            KrausChannel([np.eye(3)])
+        with pytest.raises(ValueError):
+            depolarizing_channel(1.5, 1)
+
+
+class TestReadoutError:
+    def test_confusion_matrix(self):
+        error = ReadoutError(0.1, 0.2)
+        matrix = error.confusion_matrix
+        assert matrix[1, 0] == pytest.approx(0.1)
+        assert matrix[0, 1] == pytest.approx(0.2)
+        assert np.allclose(matrix.sum(axis=0), [1, 1])
+
+    def test_symmetric_default(self):
+        error = ReadoutError(0.05)
+        assert error.prob_0_given_1 == pytest.approx(0.05)
+        assert error.average_error == pytest.approx(0.05)
+
+    def test_flip_probability(self):
+        error = ReadoutError(0.1, 0.3)
+        assert error.flip_probability(0) == pytest.approx(0.1)
+        assert error.flip_probability(1) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutError(1.2)
+
+    def test_sampling_statistics(self):
+        error = ReadoutError(0.3, 0.0)
+        rng = np.random.default_rng(0)
+        flips = sum(error.sample(0, rng) for _ in range(10000))
+        assert flips / 10000 == pytest.approx(0.3, abs=0.02)
+
+
+class TestNoiseModel:
+    def test_ideal_model(self):
+        model = NoiseModel.ideal()
+        assert model.is_ideal
+        inst = Instruction(standard_gate("cx"), (0, 1))
+        assert model.channels_for(inst) == []
+        assert model.readout_error(0) is None
+
+    def test_depolarizing_constructor(self):
+        model = NoiseModel.depolarizing(p1=0.001, p2=0.01, readout=0.05)
+        one_q = model.channels_for(Instruction(standard_gate("h"), (0,)))
+        two_q = model.channels_for(Instruction(standard_gate("cz"), (0, 1)))
+        assert len(one_q) == 1 and one_q[0][1] == (0,)
+        assert len(two_q) == 1 and two_q[0][1] == (0, 1)
+        assert model.readout_error(3).average_error == pytest.approx(0.05)
+
+    def test_per_qubit_readout_mapping(self):
+        model = NoiseModel.depolarizing(readout={0: 0.1, 2: 0.3})
+        assert model.readout_error(0).average_error == pytest.approx(0.1)
+        assert model.readout_error(1) is None
+        assert model.readout_error(2).average_error == pytest.approx(0.3)
+
+    def test_per_qubit_and_per_pair_overrides(self):
+        model = NoiseModel()
+        model.set_default_1q_error(depolarizing_channel(0.001, 1))
+        model.set_qubit_error(2, depolarizing_channel(0.05, 1))
+        model.set_pair_error((0, 1), depolarizing_channel(0.1, 2))
+        default = model.channels_for(Instruction(standard_gate("h"), (0,)))
+        override = model.channels_for(Instruction(standard_gate("h"), (2,)))
+        assert default[0][0].name != override[0][0].name or default[0][0] is not override[0][0]
+        pair = model.channels_for(Instruction(standard_gate("cx"), (1, 0)))
+        assert pair[0][1] == (1, 0)
+
+    def test_gate_name_override(self):
+        model = NoiseModel.depolarizing(p1=0.01)
+        model.set_gate_error("x", depolarizing_channel(0.2, 1))
+        x_channels = model.channels_for(Instruction(standard_gate("x"), (0,)))
+        assert "0.2" in x_channels[0][0].name
+
+    def test_noise_free_gate_names(self):
+        model = NoiseModel.depolarizing(p1=0.01)
+        model.add_noise_free_gate("h")
+        assert model.channels_for(Instruction(standard_gate("h"), (0,))) == []
+        assert model.channels_for(Instruction(standard_gate("x"), (0,))) != []
+
+    def test_with_perfect_qubits(self):
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.1)
+        perfect = model.with_perfect_qubits([3])
+        assert perfect.channels_for(Instruction(standard_gate("cx"), (3, 1))) == []
+        assert perfect.channels_for(Instruction(standard_gate("cx"), (0, 1))) != []
+        assert perfect.readout_error(3) is None
+        assert perfect.readout_error(0) is not None
+        # original untouched
+        assert model.channels_for(Instruction(standard_gate("cx"), (3, 1))) != []
+
+    def test_without_gate_and_readout_errors(self):
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.1)
+        assert model.without_gate_errors().has_gate_errors is False
+        assert model.without_readout_errors().readout_error(0) is None
+
+    def test_with_readout_scaled(self):
+        model = NoiseModel.depolarizing(readout=0.1)
+        scaled = model.with_readout_scaled(2.0)
+        assert scaled.readout_error(0).average_error == pytest.approx(0.2)
+
+    def test_three_qubit_gate_noise_decomposition(self):
+        model = NoiseModel.depolarizing(p1=0.001, p2=0.01)
+        channels = model.channels_for(Instruction(standard_gate("ccx"), (0, 1, 2)))
+        widths = sorted(len(q) for _, q in channels)
+        assert widths == [1, 1, 1, 2, 2]
+
+    def test_1q_channel_width_validation(self):
+        model = NoiseModel()
+        with pytest.raises(ValueError):
+            model.set_default_1q_error(depolarizing_channel(0.1, 2))
+        with pytest.raises(ValueError):
+            model.set_pair_error((0,), depolarizing_channel(0.1, 1))
+
+
+class TestDeviceModels:
+    def test_coupling_maps(self):
+        assert len(linear_coupling(5)) == 4
+        falcon = falcon_27_coupling()
+        assert max(max(e) for e in falcon) == 26
+        eagle = heavy_hex_coupling()
+        assert max(max(e) for e in eagle) + 1 == 127
+
+    def test_fake_mumbai_matches_paper_medians(self):
+        device = fake_mumbai()
+        assert device.num_qubits == 27
+        assert device.median_cx_error() == pytest.approx(7.611e-3, rel=0.5)
+        assert device.median_readout_error() == pytest.approx(1.81e-2, rel=0.6)
+        assert device.median_t1() == pytest.approx(125.94e3, rel=0.5)
+
+    def test_devices_are_deterministic(self):
+        a = fake_hanoi()
+        b = fake_hanoi()
+        assert a.qubit_calibrations[5] == b.qubit_calibrations[5]
+
+    def test_eagle_devices_have_127_qubits(self):
+        assert fake_kyoto().num_qubits == 127
+        assert fake_cusco().num_qubits == 127
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(ValueError):
+            fake_device("osaka")
+
+    def test_noise_model_has_pair_and_qubit_channels(self):
+        device = fake_hanoi()
+        model = device.noise_model()
+        edge = device.coupling_edges[0]
+        channels = model.channels_for(Instruction(standard_gate("cx"), edge))
+        assert channels and channels[0][0].num_qubits == 2
+        readout = model.readout_error(0)
+        assert readout is not None and readout.average_error > 0
+
+    def test_best_qubits_ranking(self):
+        device = fake_hanoi()
+        best = device.best_qubits(5)
+        assert len(best) == 5
+        qualities = [device.qubit_calibrations[q].quality() for q in best]
+        assert qualities == sorted(qualities)
+
+    def test_neighbors(self):
+        device = fake_hanoi()
+        assert 1 in device.neighbors(0)
+
+    def test_depolarizing_from_average_infidelity(self):
+        assert depolarizing_from_average_infidelity(0.01, 1) == pytest.approx(0.02)
+        assert depolarizing_from_average_infidelity(0.03, 2) == pytest.approx(0.04)
+        with pytest.raises(ValueError):
+            depolarizing_from_average_infidelity(-0.1, 1)

@@ -1,0 +1,224 @@
+"""Tests for basis translation, coupling maps, layout and routing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    qpe_circuit,
+    ring_graph,
+    vqe_circuit,
+)
+from repro.circuits import QuantumCircuit, standard_gate
+from repro.distributions import hellinger_fidelity
+from repro.noise import fake_hanoi, linear_coupling
+from repro.simulators import ideal_distribution
+from repro.transpiler import (
+    BASIS_GATES,
+    CouplingMap,
+    Layout,
+    count_two_qubit_basis_gates,
+    decompose_to_basis,
+    euler_zyz_angles,
+    noise_aware_layout,
+    route_circuit,
+    transpile,
+    trivial_layout,
+)
+
+
+def assert_equivalent_up_to_phase(circuit_a, circuit_b, atol=1e-7):
+    a = circuit_a.to_matrix()
+    b = circuit_b.to_matrix()
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    phase = b[index] / a[index]
+    assert abs(abs(phase) - 1.0) < 1e-6
+    assert np.allclose(a * phase, b, atol=atol)
+
+
+class TestEulerAngles:
+    @pytest.mark.parametrize("name, params", [
+        ("h", ()), ("x", ()), ("s", ()), ("t", ()), ("sx", ()),
+        ("rx", (0.7,)), ("ry", (2.1,)), ("rz", (-1.3,)), ("p", (0.9,)),
+        ("u", (0.4, 1.1, -0.6)),
+    ])
+    def test_zyz_reconstruction(self, name, params):
+        matrix = standard_gate(name, *params).matrix
+        alpha, beta, gamma, delta = euler_zyz_angles(matrix)
+        rz, ry = (lambda t: standard_gate("rz", t).matrix), (lambda t: standard_gate("ry", t).matrix)
+        rebuilt = np.exp(1j * alpha) * rz(beta) @ ry(gamma) @ rz(delta)
+        assert np.allclose(rebuilt, matrix, atol=1e-9)
+
+    def test_random_unitaries(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            q, _ = np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))
+            alpha, beta, gamma, delta = euler_zyz_angles(q)
+            rz, ry = (lambda t: standard_gate("rz", t).matrix), (lambda t: standard_gate("ry", t).matrix)
+            rebuilt = np.exp(1j * alpha) * rz(beta) @ ry(gamma) @ rz(delta)
+            assert np.allclose(rebuilt, q, atol=1e-8)
+
+
+class TestBasisTranslation:
+    def test_only_basis_gates_remain(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).t(1).cz(0, 1).cp(0.3, 1, 2).swap(0, 2).ccx(0, 1, 2)
+        out = decompose_to_basis(qc)
+        for inst in out.data:
+            if inst.is_gate:
+                assert inst.name in BASIS_GATES
+
+    @pytest.mark.parametrize("builder", [
+        lambda: qft_circuit(3),
+        lambda: qpe_circuit(3, phase=0.375, measure=False),
+        lambda: vqe_circuit(4, 2, measure=False),
+        lambda: qaoa_maxcut_circuit(ring_graph(4), 2, measure=False),
+    ])
+    def test_equivalence_on_algorithm_circuits(self, builder):
+        circuit = builder()
+        assert_equivalent_up_to_phase(circuit, decompose_to_basis(circuit))
+
+    def test_equivalence_on_mixed_gate_circuit(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).s(1).sdg(2).crz(0.7, 2, 0).cry(0.4, 0, 1).crx(1.2, 1, 2)
+        qc.rzz(0.5, 0, 1).ch(0, 2).cy(1, 0).cswap(0, 1, 2)
+        assert_equivalent_up_to_phase(qc, decompose_to_basis(qc))
+
+    def test_single_qubit_runs_are_merged(self):
+        qc = QuantumCircuit(1)
+        for _ in range(10):
+            qc.h(0).t(0).s(0)
+        out = decompose_to_basis(qc)
+        # one merged unitary -> at most 5 basis gates
+        assert len(out.gates) <= 5
+
+    def test_adjacent_cx_cancellation(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(0, 1).h(0)
+        out = decompose_to_basis(qc)
+        assert out.count_ops().get("cx", 0) == 0
+
+    def test_non_adjacent_cx_not_cancelled(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).z(1).cx(0, 1)
+        out = decompose_to_basis(qc)
+        assert out.count_ops().get("cx", 0) == 2
+
+    def test_measurements_and_barriers_preserved(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).barrier().cx(0, 1).measure(0, 0).measure(1, 1)
+        out = decompose_to_basis(qc)
+        assert out.count_ops()["measure"] == 2
+        assert out.count_ops()["barrier"] == 1
+
+    def test_two_qubit_gate_count_metric(self):
+        assert count_two_qubit_basis_gates(vqe_circuit(12, 1)) == 11
+        assert count_two_qubit_basis_gates(vqe_circuit(15, 1)) == 14
+
+    def test_cz_costs_one_cx(self):
+        qc = QuantumCircuit(2)
+        qc.cz(0, 1)
+        assert count_two_qubit_basis_gates(qc) == 1
+
+    def test_swap_costs_three_cx(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        assert count_two_qubit_basis_gates(qc) == 3
+
+    def test_cp_costs_two_cx(self):
+        qc = QuantumCircuit(2)
+        qc.cp(0.3, 0, 1)
+        assert count_two_qubit_basis_gates(qc) == 2
+
+
+class TestCouplingMap:
+    def test_basic_queries(self):
+        coupling = CouplingMap(linear_coupling(5))
+        assert coupling.num_qubits == 5
+        assert coupling.are_adjacent(1, 2)
+        assert not coupling.are_adjacent(0, 3)
+        assert coupling.distance(0, 4) == 4
+        assert coupling.shortest_path(0, 3) == [0, 1, 2, 3]
+        assert coupling.neighbors(2) == [1, 3]
+        assert coupling.is_connected()
+
+    def test_connected_subgraph(self):
+        coupling = CouplingMap(linear_coupling(6))
+        region = coupling.connected_subgraph_from(2, 4)
+        assert len(region) == 4
+        assert len(set(region)) == 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CouplingMap([], num_qubits=None)
+        with pytest.raises(ValueError):
+            CouplingMap([(0, 5)], num_qubits=3)
+
+    def test_disconnected_distance_raises(self):
+        coupling = CouplingMap([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            coupling.distance(0, 3)
+
+
+class TestLayoutAndRouting:
+    def test_trivial_layout(self):
+        qc = QuantumCircuit(3)
+        assert trivial_layout(qc).logical_to_physical == {0: 0, 1: 1, 2: 2}
+
+    def test_layout_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Layout({0: 1, 1: 1})
+
+    def test_noise_aware_layout_embeds_chain_without_routing(self):
+        device = fake_hanoi()
+        circuit = vqe_circuit(12, 1)
+        layout = noise_aware_layout(circuit, device)
+        physical = layout.logical_to_physical
+        edges = {tuple(sorted(e)) for e in device.coupling_edges}
+        for q in range(11):
+            assert tuple(sorted((physical[q], physical[q + 1]))) in edges
+
+    def test_noise_aware_layout_too_large(self):
+        device = fake_hanoi()
+        with pytest.raises(ValueError):
+            noise_aware_layout(QuantumCircuit(28), device)
+
+    def test_routing_preserves_semantics(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).cx(0, 3).cx(1, 2).cx(0, 2)
+        qc.measure_all()
+        routed = route_circuit(qc, CouplingMap(linear_coupling(4)))
+        assert hellinger_fidelity(ideal_distribution(qc), ideal_distribution(routed)) == pytest.approx(1.0)
+        coupling = CouplingMap(linear_coupling(4))
+        for inst in routed.data:
+            if inst.is_two_qubit_gate:
+                assert coupling.are_adjacent(*inst.qubits)
+
+    def test_routing_rejects_oversized_circuit(self):
+        with pytest.raises(ValueError):
+            route_circuit(QuantumCircuit(5), CouplingMap(linear_coupling(3)))
+
+    def test_transpile_pipeline_on_device(self):
+        device = fake_hanoi()
+        result = transpile(vqe_circuit(12, 1), device=device)
+        assert result.two_qubit_gate_count == 11
+        for inst in result.circuit.data:
+            if inst.is_gate:
+                assert inst.name in BASIS_GATES
+
+    def test_transpile_without_device(self):
+        result = transpile(vqe_circuit(4, 1))
+        assert result.layout == trivial_layout(vqe_circuit(4, 1))
+        assert result.two_qubit_gate_count == 3
+
+    def test_transpile_preserves_distribution(self):
+        device = fake_hanoi()
+        qc = vqe_circuit(4, 1, seed=3)
+        result = transpile(qc, device=device)
+        ideal = ideal_distribution(qc)
+        transpiled_dist = ideal_distribution(result.circuit)
+        # Compare over the measured logical bits (clbits are preserved).
+        assert hellinger_fidelity(ideal, transpiled_dist) == pytest.approx(1.0, abs=1e-6)
