@@ -20,7 +20,7 @@ from repro.core import QuTracer, QuTracerOptions
 from repro.distributions import hellinger_fidelity
 from repro.mitigation import PauliCheck, run_jigsaw, run_pcs, run_sqem
 from repro.noise import DeviceModel, NoiseModel
-from repro.simulators import execute, ideal_distribution
+from repro.simulators import ExecutionEngine, get_default_engine, ideal_distribution
 
 __all__ = ["MethodOutcome", "run_original", "run_all_methods", "print_table", "cz_block_region"]
 
@@ -33,9 +33,16 @@ class MethodOutcome:
     avg_two_qubit_gates: float | None = None
 
 
-def run_original(circuit: QuantumCircuit, noise: NoiseModel, shots: int, seed: int) -> MethodOutcome:
+def run_original(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    shots: int,
+    seed: int,
+    engine: ExecutionEngine | None = None,
+) -> MethodOutcome:
+    engine = engine or get_default_engine()
     ideal = ideal_distribution(circuit)
-    result = execute(circuit, noise, shots=shots, seed=seed, max_trajectories=200)
+    result = engine.execute(circuit, noise, shots=shots, seed=seed, max_trajectories=200)
     from repro.transpiler import count_two_qubit_basis_gates
 
     return MethodOutcome(
@@ -65,15 +72,27 @@ def run_all_methods(
     include_ideal_pcs: bool = False,
     device: DeviceModel | None = None,
     shots_per_circuit: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> dict[str, MethodOutcome]:
-    """Run Original / Jigsaw / (ideal PCS) / (SQEM) / QuTracer on one workload."""
+    """Run Original / Jigsaw / (ideal PCS) / (SQEM) / QuTracer on one workload.
+
+    All methods share one :class:`ExecutionEngine`, so circuits repeated
+    across methods (the original circuit, shared subset circuits) are
+    simulated once and served from the cache afterwards.  Sweeps should pass
+    a sweep-level ``engine``: the engine's readout-factored state cache then
+    reuses the expensive gate-noise simulations across datapoints that only
+    differ in measurement error or shot budget.
+    """
     from repro.transpiler import count_two_qubit_basis_gates
 
+    engine = engine or ExecutionEngine()
     ideal = ideal_distribution(circuit)
     outcomes: dict[str, MethodOutcome] = {}
-    outcomes["Original"] = run_original(circuit, noise, shots, seed)
+    outcomes["Original"] = run_original(circuit, noise, shots, seed, engine=engine)
 
-    jigsaw = run_jigsaw(circuit, noise, shots=shots, subset_size=max(subset_size, 2), seed=seed)
+    jigsaw = run_jigsaw(
+        circuit, noise, shots=shots, subset_size=max(subset_size, 2), seed=seed, engine=engine
+    )
     outcomes["Jigsaw"] = MethodOutcome(
         name="Jigsaw",
         fidelity=hellinger_fidelity(jigsaw.mitigated_distribution, ideal),
@@ -84,7 +103,13 @@ def run_all_methods(
     if include_ideal_pcs:
         region = cz_block_region(circuit)
         checks = [PauliCheck(pauli={q: "Z"}, region=region) for q in circuit.measured_qubits]
-        pcs = run_pcs(circuit, checks, noise, ideal_checks=True, seed=seed)
+        # The instrumented circuit doubles in width (one ancilla per check),
+        # forcing the trajectory method; 150 noise realisations keep the
+        # fidelity estimate stable at a quarter of the default cost.
+        pcs = run_pcs(
+            circuit, checks, noise, ideal_checks=True, seed=seed, engine=engine,
+            max_trajectories=150,
+        )
         outcomes["Ideal PCS"] = MethodOutcome(
             name="Ideal PCS",
             fidelity=hellinger_fidelity(pcs.mitigated_distribution, ideal),
@@ -99,6 +124,7 @@ def run_all_methods(
             shots_per_circuit=shots_per_circuit,
             subset_size=1,
             seed=seed,
+            engine=engine,
         )
         outcomes["SQEM"] = MethodOutcome(
             name="SQEM",
@@ -113,6 +139,7 @@ def run_all_methods(
         shots=shots,
         shots_per_circuit=shots_per_circuit,
         seed=seed,
+        engine=engine,
     )
     result = tracer.run(circuit, subset_size=subset_size)
     outcomes["QuTracer"] = MethodOutcome(

@@ -10,6 +10,11 @@ VQE workload and reports fidelity and cost so their contribution is visible:
 * everything disabled -> the SQEM configuration.
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table
 
 from repro.algorithms import vqe_circuit

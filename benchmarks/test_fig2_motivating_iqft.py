@@ -11,6 +11,11 @@ The expected ordering Original <= Jigsaw < PCS(ideal) < QuTracer is
 reproduced; see EXPERIMENTS.md for measured numbers.
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table, run_all_methods
 
 from repro.algorithms import iqft_benchmark_circuit

@@ -9,6 +9,11 @@ Scaled-down reproduction: 6-qubit ring-graph QAOA with 3 layers under the
 fake-mumbai device model, subset size 2, checked layers 0..3.
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table
 
 from repro.algorithms import qaoa_maxcut_circuit, ring_graph

@@ -12,6 +12,11 @@ checks the orderings the paper relies on:
   checked layers.
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table
 
 from repro.algorithms import vqe_circuit

@@ -12,6 +12,11 @@ fidelity decays with depth, QuTracer's copies have far fewer 2-qubit gates,
 and QuTracer's relative improvement grows with depth.
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table
 
 from repro.algorithms import qaoa_maxcut_circuit, ring_graph

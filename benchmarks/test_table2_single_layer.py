@@ -11,6 +11,11 @@ QFTMultiplier-4, QPE-5, QFTAdder-5, BV-7, VQE-8 (1 layer), QAOA-6 (1 layer).
 SQEM is only run where the paper runs it (BV and VQE).
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table, run_all_methods
 
 from repro.algorithms import (

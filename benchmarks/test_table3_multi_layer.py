@@ -10,6 +10,11 @@ Scaled-down reproduction: VQE-8 with 2/3 layers (fake hanoi) and QAOA-6 with
 2 layers (fake cusco).
 """
 
+import pytest
+
+# Full paper-reproduction suite: skip with `pytest -m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from harness import print_table
 
 from repro.algorithms import qaoa_maxcut_circuit, ring_graph, vqe_circuit

@@ -10,8 +10,8 @@ multi-layer tracing drivers).
 Quickstart
 ----------
 >>> from repro import QuantumCircuit, NoiseModel, QuTracer
->>> from repro.algorithms import iqft_circuit
->>> circuit = iqft_circuit(3, input_state=5)
+>>> from repro.algorithms import iqft_benchmark_circuit
+>>> circuit = iqft_benchmark_circuit(3, value=5)
 >>> noise = NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.05)
 >>> tracer = QuTracer(noise_model=noise, shots=4000, seed=7)
 >>> result = tracer.run(circuit)

@@ -361,6 +361,45 @@ class QuantumCircuit:
             new.append_instruction(inst.remap(full_map))
         return new
 
+    def active_qubits(self) -> list[int]:
+        """Wires touched by at least one non-barrier instruction (sorted).
+
+        Barriers are pure scheduling markers — a wire that only appears in
+        barriers carries no state and can be dropped by :meth:`compact_qubits`.
+        """
+        used: set[int] = set()
+        for inst in self.data:
+            if inst.is_barrier:
+                continue
+            used.update(inst.qubits)
+        return sorted(used)
+
+    def compact_qubits(self) -> tuple["QuantumCircuit", list[int]]:
+        """Drop idle wires and renumber the rest contiguously.
+
+        Returns ``(compact, active)`` where ``active[i]`` is the original
+        index of the compact circuit's qubit ``i``.  Classical bits are left
+        untouched, so measured-output distributions are unchanged.  Idle wires
+        stay in |0> for the whole circuit, which is what makes this safe: a
+        subset circuit embedded on a wide device simulates in ``2**k`` instead
+        of ``2**n`` memory.  Barriers are restricted to the surviving wires
+        (and dropped entirely when none survive).
+        """
+        active = self.active_qubits()
+        if not active:
+            active = [0] if self.num_qubits else []
+        mapping = {q: i for i, q in enumerate(active)}
+        new = QuantumCircuit(len(active), self.num_clbits, self.name)
+        new.metadata = dict(self.metadata)
+        for inst in self.data:
+            if inst.is_barrier:
+                kept = [mapping[q] for q in inst.qubits if q in mapping]
+                if kept:
+                    new.append(Barrier(len(kept), label=inst.operation.label), kept)
+                continue
+            new.append_instruction(inst.remap(mapping))
+        return new, active
+
     def without_instructions(self, indices: Iterable[int]) -> "QuantumCircuit":
         """Return a copy with the instructions at ``indices`` removed."""
         drop = set(indices)

@@ -44,7 +44,7 @@ from ..cutting import (
 )
 from ..distributions import ProbabilityDistribution
 from ..noise import NoiseModel
-from ..simulators import execute
+from ..simulators import ExecutionEngine, get_default_engine
 
 __all__ = ["QSPCOptions", "VirtualCheckResult", "virtual_pauli_check", "all_pauli_strings"]
 
@@ -153,6 +153,7 @@ def virtual_pauli_check(
     observables: Sequence[str] | None = None,
     options: QSPCOptions | None = None,
     seed: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> VirtualCheckResult:
     """Run one virtual Pauli check over ``segment``.
 
@@ -175,6 +176,11 @@ def virtual_pauli_check(
     observables:
         Pauli strings whose mitigated expectations are required.  ``None``
         requests the full set (needed when the result seeds the next layer).
+    engine:
+        The :class:`~repro.simulators.engine.ExecutionEngine` that runs the
+        prepare/run/measure ensemble as one batch.  Sharing an engine across
+        layers and subsets lets repeated check configurations hit its cache;
+        defaults to the process-wide engine.
     """
     options = options or QSPCOptions()
     subset_qubits = [int(q) for q in subset_qubits]
@@ -229,33 +235,44 @@ def virtual_pauli_check(
         needed_bases = [tuple(b) for b in itertools.product("XYZ", repeat=num_subset)]
 
     # ------------------------------------------------------------------
-    # 2. Execute prepare/run/measure circuits and record Pauli expectations.
+    # 2. Execute the prepare/run/measure ensemble as one batch and record
+    #    Pauli expectations.  The engine deduplicates identical circuits
+    #    within the batch and caches across calls, so repeated layers and
+    #    repeated check configurations are not re-simulated.
     # ------------------------------------------------------------------
+    engine = engine or get_default_engine()
+    variants = [
+        (prep_labels, basis)
+        for prep_labels in sorted(needed_preparations)
+        for basis in needed_bases
+    ]
+    circuits = [
+        _build_prepared_circuit(segment, subset_qubits, prep_labels, basis)
+        for prep_labels, basis in variants
+    ]
+    results = engine.execute_many(
+        circuits,
+        noise_model,
+        shots=options.shots_per_circuit,
+        seed=seed,
+        max_trajectories=options.max_trajectories,
+    )
+
     expectations: dict[tuple[tuple[str, ...], str], float] = {}
     num_circuits = 0
     executed_preps: list[tuple[str, ...]] = []
     executed_bases: list[tuple[str, ...]] = []
-    for prep_labels in sorted(needed_preparations):
-        for basis in needed_bases:
-            circuit = _build_prepared_circuit(segment, subset_qubits, prep_labels, basis)
-            run_seed = None if seed is None else seed + 7919 * num_circuits
-            result = execute(
-                circuit,
-                noise_model,
-                shots=options.shots_per_circuit,
-                seed=run_seed,
-                max_trajectories=options.max_trajectories,
-            )
-            distribution = result.distribution
-            bit_of = {q: result.bit_for_qubit(q) for q in subset_qubits}
-            for pauli in _paulis_covered_by(basis, required_paulis):
-                support_bits = [
-                    bit_of[subset_qubits[i]] for i, ch in enumerate(pauli) if ch != "I"
-                ]
-                expectations[(prep_labels, pauli)] = distribution.expectation_z(support_bits)
-            num_circuits += 1
-            executed_preps.append(prep_labels)
-            executed_bases.append(basis)
+    for (prep_labels, basis), result in zip(variants, results):
+        distribution = result.distribution
+        bit_of = {q: result.bit_for_qubit(q) for q in subset_qubits}
+        for pauli in _paulis_covered_by(basis, required_paulis):
+            support_bits = [
+                bit_of[subset_qubits[i]] for i, ch in enumerate(pauli) if ch != "I"
+            ]
+            expectations[(prep_labels, pauli)] = distribution.expectation_z(support_bits)
+        num_circuits += 1
+        executed_preps.append(prep_labels)
+        executed_bases.append(basis)
 
     def measured_expectation(prep_labels: tuple[str, ...], pauli: str) -> float:
         if set(pauli) == {"I"}:

@@ -7,6 +7,13 @@ subsetting Pauli check (QSPC) while single-qubit segments are simulated
 classically; the resulting high-fidelity *local* distributions then refine
 the global distribution with the Bayesian recombination also used by Jigsaw
 and SQEM.
+
+All circuit executions — the global run and every QSPC prepare/run/measure
+copy — go through one :class:`~repro.simulators.engine.ExecutionEngine`
+shared across subsets and layers, so identical subset circuits (repeated
+layers, repeated check variants) are deduplicated and cached instead of
+re-simulated.  See ``docs/architecture.md`` for the engine's cache-key
+design and batching semantics.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from ..distributions import (
     iterative_bayesian_update,
 )
 from ..noise import DeviceModel, NoiseModel
-from ..simulators import execute, ideal_distribution
+from ..simulators import ExecutionEngine, ideal_distribution
 from ..transpiler import count_two_qubit_basis_gates, noise_aware_layout
 from .analysis import SubsetAnalysis, analyse_subset
 from .optimizations import (
@@ -137,6 +144,11 @@ class QuTracer:
     shots_per_circuit:
         Shots per QSPC circuit copy; defaults to ``shots / 10`` (the copies
         measure only the subset, so they need far fewer shots — Sec. V-E).
+    engine:
+        The :class:`~repro.simulators.engine.ExecutionEngine` all executions
+        are submitted through.  Pass a shared engine to pool the result cache
+        with other methods running the same workload (the benchmark harness
+        does this); by default each tracer gets its own engine.
     """
 
     def __init__(
@@ -148,6 +160,7 @@ class QuTracer:
         seed: int | None = None,
         options: QuTracerOptions | None = None,
         max_trajectories: int = 300,
+        engine: ExecutionEngine | None = None,
     ) -> None:
         if noise_model is None and device is None:
             raise ValueError("provide a noise_model, a device, or both")
@@ -158,6 +171,11 @@ class QuTracer:
         self.seed = seed
         self.options = options or QuTracerOptions()
         self.max_trajectories = max_trajectories
+        self.engine = engine or ExecutionEngine(max_trajectories=max_trajectories)
+        # assignment -> derived NoiseModel; building a device noise model is
+        # expensive (channel composition + Kraus reduction) and the same
+        # assignment recurs for every circuit copy that uses the same wires.
+        self._assignment_noise: dict[tuple, NoiseModel] = {}
 
     # ------------------------------------------------------------------
     # Noise-model selection (qubit remapping optimization)
@@ -173,7 +191,12 @@ class QuTracer:
         compact = circuit.remap_qubits(compact_map, num_qubits=len(used))
         layout = noise_aware_layout(compact, self.device)
         assignment = {q: layout.physical(compact_map[q]) for q in used}
-        return self.device.noise_model_for_assignment(assignment)
+        key = tuple(sorted(assignment.items()))
+        model = self._assignment_noise.get(key)
+        if model is None:
+            model = self.device.noise_model_for_assignment(assignment)
+            self._assignment_noise[key] = model
+        return model
 
     # ------------------------------------------------------------------
     # Public API
@@ -203,7 +226,7 @@ class QuTracer:
                 if q not in measured:
                     raise ValueError(f"subset qubit {q} is not measured by the circuit")
 
-        global_result = execute(
+        global_result = self.engine.execute(
             circuit,
             self._noise_for(circuit),
             shots=self.shots,
@@ -355,6 +378,7 @@ class QuTracer:
                 observables=observables,
                 options=qspc_options,
                 seed=seed,
+                engine=self.engine,
             )
             num_circuits += check_result.num_circuits
             gate_counts.extend([count_two_qubit_basis_gates(downstream)] * check_result.num_circuits)

@@ -22,6 +22,7 @@ from typing import Sequence
 from ..circuits import QuantumCircuit
 from ..core import QuTracer, QuTracerOptions, QuTracerResult
 from ..noise import DeviceModel, NoiseModel
+from ..simulators import ExecutionEngine
 
 __all__ = ["run_sqem"]
 
@@ -36,12 +37,15 @@ def run_sqem(
     subset_size: int = 1,
     seed: int | None = None,
     max_trajectories: int = 300,
+    engine: ExecutionEngine | None = None,
 ) -> QuTracerResult:
     """Run the SQEM baseline and return the refined global distribution.
 
     The result object is a :class:`~repro.core.QuTracerResult`; its overhead
     fields (circuit copies, two-qubit gate counts) reflect SQEM's larger
-    cost.
+    cost.  SQEM's many full-width copies all flow through ``engine``, where
+    its heavy duplication (every basis, every preparation, re-run per layer)
+    becomes cache hits.
     """
     options = QuTracerOptions(
         enable_checks=True,
@@ -59,5 +63,6 @@ def run_sqem(
         seed=seed,
         options=options,
         max_trajectories=max_trajectories,
+        engine=engine,
     )
     return runner.run(circuit, subsets=subsets, subset_size=subset_size)

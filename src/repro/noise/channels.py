@@ -133,6 +133,51 @@ class KrausChannel:
         reduced = KrausChannel(operators, name=self.name)
         return reduced
 
+    def uniform_depolarizing_probability(self) -> float | None:
+        """Probability ``p`` when this channel is exactly ``rho -> (1-p) rho +
+        p I/d (x) tr(rho)``, else ``None``.
+
+        A channel has that closed form iff it is a Pauli mixture whose
+        ``4**n - 1`` non-identity Paulis all carry equal probability.  The
+        simulators use the closed form to replace the per-Kraus conjugation
+        loop (``2 * 4**n`` large tensor contractions) with one partial trace
+        and one embedding.  The answer is cached on the instance — channels
+        live as long as their noise model and are queried once per gate site
+        per simulation.
+        """
+        cached = getattr(self, "_uniform_depolarizing", "unset")
+        if cached != "unset":
+            return cached
+        self._uniform_depolarizing = self._detect_uniform_depolarizing()
+        return self._uniform_depolarizing
+
+    def _detect_uniform_depolarizing(self, atol: float = 1e-10) -> float | None:
+        dim = self.dim
+        labels = _all_pauli_labels(self.num_qubits)
+        paulis = {label: _pauli_string_matrix(label) for label in labels}
+        identity_label = "I" * self.num_qubits
+        weights: dict[str, float] = {}
+        for op in self.operators:
+            overlaps = {
+                label: np.trace(p.conj().T @ op) / dim for label, p in paulis.items()
+            }
+            significant = {l: c for l, c in overlaps.items() if abs(c) > atol}
+            if len(significant) != 1:
+                return None
+            label, coefficient = next(iter(significant.items()))
+            weights[label] = weights.get(label, 0.0) + float(abs(coefficient) ** 2)
+        non_identity = [weights.get(l, 0.0) for l in labels if l != identity_label]
+        first = non_identity[0]
+        if any(abs(w - first) > 1e-9 for w in non_identity):
+            return None
+        total = weights.get(identity_label, 0.0) + sum(non_identity)
+        if abs(total - 1.0) > 1e-8:
+            return None
+        # Per-Pauli weight p/4**n over all 4**n Paulis (incl. identity's share)
+        # corresponds to depolarizing probability p = first * dim**2 ... the
+        # mixture (1-p) rho + p I/d tr(rho) has non-identity weights p/d^2.
+        return float(first * dim * dim)
+
     def average_gate_fidelity(self) -> float:
         """Average gate fidelity of the channel relative to the identity.
 

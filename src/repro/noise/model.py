@@ -43,6 +43,7 @@ class NoiseModel:
         self._default_readout: ReadoutError | None = None
         self.noise_free_qubits: set[int] = set()
         self.noise_free_gate_names: set[str] = set()
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -83,17 +84,20 @@ class NoiseModel:
     def set_default_1q_error(self, channel: KrausChannel) -> "NoiseModel":
         self._require_width(channel, 1)
         self._default_1q = [channel]
+        self._version += 1
         return self
 
     def set_default_2q_error(self, channel: KrausChannel) -> "NoiseModel":
         self._require_width(channel, 2)
         self._default_2q = [channel]
+        self._version += 1
         return self
 
     def set_qubit_error(self, qubit: int, channel: KrausChannel) -> "NoiseModel":
         """Noise applied after every 1-qubit gate on ``qubit`` (replaces defaults)."""
         self._require_width(channel, 1)
         self._qubit_1q.setdefault(int(qubit), []).append(channel)
+        self._version += 1
         return self
 
     def set_pair_error(self, pair: Sequence[int], channel: KrausChannel) -> "NoiseModel":
@@ -108,11 +112,13 @@ class NoiseModel:
         if len(key) != 2:
             raise ValueError("a pair needs exactly two distinct qubits")
         self._pair_2q.setdefault(key, []).append(channel)
+        self._version += 1
         return self
 
     def set_gate_error(self, gate_name: str, channel: KrausChannel) -> "NoiseModel":
         """Noise applied after every gate with this name (replaces defaults)."""
         self._gate_overrides.setdefault(gate_name.lower(), []).append(channel)
+        self._version += 1
         return self
 
     def set_readout_error(self, error: ReadoutError, qubit: int | None = None) -> "NoiseModel":
@@ -120,11 +126,23 @@ class NoiseModel:
             self._default_readout = error
         else:
             self._readout[int(qubit)] = error
+        self._version += 1
         return self
 
     def add_noise_free_gate(self, gate_name: str) -> "NoiseModel":
         self.noise_free_gate_names.add(gate_name.lower())
+        self._version += 1
         return self
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every in-place ``set_*``/``add_*`` call.
+
+        Caches that memoise per-object derived data (the execution engine's
+        fingerprint and remapped-model memos) pair this with object identity
+        so an in-place mutation invalidates stale entries.
+        """
+        return self._version
 
     def _require_width(self, channel: KrausChannel, num_qubits: int) -> None:
         if channel.num_qubits != num_qubits:
@@ -177,6 +195,75 @@ class NoiseModel:
         model._pair_2q = {}
         model._gate_overrides = {}
         return model
+
+    def remap_qubits(self, mapping: Mapping[int, int]) -> "NoiseModel":
+        """Copy of the model with qubit-indexed noise renamed through ``mapping``.
+
+        Entries for qubits absent from ``mapping`` are dropped — they refer to
+        wires that no longer exist.  Defaults and per-gate overrides are not
+        qubit-indexed and carry over unchanged.  Used by the execution engine
+        when it compacts idle wires out of a circuit: the compacted circuit
+        must see exactly the noise its surviving wires had.
+        """
+        model = NoiseModel()
+        model._default_1q = list(self._default_1q)
+        model._default_2q = list(self._default_2q)
+        model._gate_overrides = {k: list(v) for k, v in self._gate_overrides.items()}
+        model._default_readout = self._default_readout
+        model.noise_free_gate_names = set(self.noise_free_gate_names)
+        for qubit, channels in self._qubit_1q.items():
+            if qubit in mapping:
+                model._qubit_1q[mapping[qubit]] = list(channels)
+        for (a, b), channels in self._pair_2q.items():
+            if a in mapping and b in mapping:
+                key = tuple(sorted((mapping[a], mapping[b])))
+                model._pair_2q[key] = list(channels)
+        for qubit, error in self._readout.items():
+            if qubit in mapping:
+                model._readout[mapping[qubit]] = error
+        model.noise_free_qubits = {
+            mapping[q] for q in self.noise_free_qubits if q in mapping
+        }
+        return model
+
+    def fingerprint(self) -> str:
+        """Content hash of the model, stable across equivalent instances.
+
+        Two models built from the same channels and readout errors produce
+        the same fingerprint even when they are distinct objects.  The
+        execution engine combines this with a circuit fingerprint to build
+        its content-addressed cache keys.
+        """
+        import hashlib
+
+        import numpy as np
+
+        digest = hashlib.sha256()
+
+        def add_channels(tag: str, channels: Sequence[KrausChannel]) -> None:
+            digest.update(tag.encode())
+            for channel in channels:
+                for op in channel.operators:
+                    digest.update(np.ascontiguousarray(op).tobytes())
+
+        add_channels("d1", self._default_1q)
+        add_channels("d2", self._default_2q)
+        for qubit in sorted(self._qubit_1q):
+            add_channels(f"q{qubit}", self._qubit_1q[qubit])
+        for pair in sorted(self._pair_2q):
+            add_channels(f"p{pair}", self._pair_2q[pair])
+        for name in sorted(self._gate_overrides):
+            add_channels(f"g{name}", self._gate_overrides[name])
+        if self._default_readout is not None:
+            digest.update(
+                f"r*:{self._default_readout.prob_1_given_0}:{self._default_readout.prob_0_given_1}".encode()
+            )
+        for qubit in sorted(self._readout):
+            error = self._readout[qubit]
+            digest.update(f"r{qubit}:{error.prob_1_given_0}:{error.prob_0_given_1}".encode())
+        digest.update(f"nfq{sorted(self.noise_free_qubits)}".encode())
+        digest.update(f"nfg{sorted(self.noise_free_gate_names)}".encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Queries used by the simulators

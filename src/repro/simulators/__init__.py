@@ -1,22 +1,34 @@
-"""Statevector, density-matrix and trajectory simulators."""
+"""Statevector, density-matrix and trajectory simulators, plus the batched
+cached :class:`ExecutionEngine` front-end (see ``docs/architecture.md``)."""
 
 from .density_matrix import (
     DensityMatrix,
     noisy_distribution_density_matrix,
     simulate_density_matrix,
 )
+from .engine import (
+    EngineStats,
+    ExecutionEngine,
+    circuit_fingerprint,
+    get_default_engine,
+)
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
 from .result import ExecutionResult
 from .statevector import Statevector, ideal_distribution, simulate_statevector
-from .trajectory import simulate_trajectories
+from .trajectory import simulate_trajectories, simulate_trajectories_batched
 
 __all__ = [
     "Statevector",
     "DensityMatrix",
     "ExecutionResult",
+    "ExecutionEngine",
+    "EngineStats",
+    "circuit_fingerprint",
+    "get_default_engine",
     "simulate_statevector",
     "simulate_density_matrix",
     "simulate_trajectories",
+    "simulate_trajectories_batched",
     "noisy_distribution_density_matrix",
     "ideal_distribution",
     "execute",

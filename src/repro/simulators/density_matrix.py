@@ -17,6 +17,7 @@ from ..noise import NoiseModel
 from .apply import (
     apply_kraus_to_density_matrix,
     apply_matrix_to_density_matrix,
+    apply_uniform_depolarizing_to_density_matrix,
     density_matrix_probabilities,
     reduced_density_matrix,
 )
@@ -133,7 +134,15 @@ def simulate_density_matrix(
             rho, inst.operation.matrix, inst.qubits, circuit.num_qubits
         )
         for channel, qubits in noise_model.channels_for(inst):
-            rho = apply_kraus_to_density_matrix(rho, channel.operators, qubits, circuit.num_qubits)
+            depolarizing = channel.uniform_depolarizing_probability()
+            if depolarizing is not None:
+                rho = apply_uniform_depolarizing_to_density_matrix(
+                    rho, depolarizing, qubits, circuit.num_qubits
+                )
+            else:
+                rho = apply_kraus_to_density_matrix(
+                    rho, channel.operators, qubits, circuit.num_qubits
+                )
     return DensityMatrix(rho, circuit.num_qubits)
 
 

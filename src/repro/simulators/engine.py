@@ -1,0 +1,489 @@
+"""Batched, cached circuit execution — the shared front-end for subset-circuit
+workloads.
+
+QuTracer-style mitigation runs *many small circuits*: one per traced subset,
+per Pauli-check variant, per layer.  Large fractions of those circuits repeat
+— the same layer is re-checked for every subset, the same check configuration
+recurs across layers, benchmark sweeps re-run identical baselines.  The
+:class:`ExecutionEngine` turns those repeats into cache hits:
+
+* :meth:`ExecutionEngine.execute_many` takes a whole batch of circuits and
+  deduplicates identical members before running anything;
+* results are stored in a **content-addressed cache** keyed by the circuit's
+  structural fingerprint, the noise model's fingerprint, and the execution
+  parameters (method, shots, derived seed), so repeats across calls — and
+  across consumers sharing one engine — are free;
+* idle wires are compacted away (with the noise model remapped to the
+  surviving wires), so a subset circuit embedded on a wide device simulates
+  in ``2**k`` rather than ``2**n`` memory and can use the exact
+  density-matrix method instead of trajectory sampling;
+* the trajectory path uses :func:`~repro.simulators.trajectory.simulate_trajectories_batched`,
+  which pre-samples Pauli-error insertions for the whole batch of
+  trajectories per circuit instead of looping shot-by-shot.
+
+See ``docs/architecture.md`` for the cache-key design, batching semantics
+and method auto-selection rules.
+
+Determinism and caching
+-----------------------
+A request is **cacheable** when its outcome is a pure function of its key:
+exact methods without sampling always are; sampled requests are cacheable
+only when a ``seed`` is given.  Unseeded sampling is executed fresh every
+time so repeated calls stay statistically independent.
+
+Per-circuit seeds are derived from the base seed *and the circuit
+fingerprint*, so distinct circuits in a batch are decorrelated while
+identical circuits receive identical seeds — which is exactly what makes
+deduplication exact rather than approximate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import weakref
+from collections import OrderedDict
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..noise import NoiseModel
+from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
+from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .result import ExecutionResult
+from .trajectory import simulate_trajectories_batched
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineStats",
+    "circuit_fingerprint",
+    "get_default_engine",
+]
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Content hash of a circuit's structure.
+
+    Two circuits with the same wire counts and the same instruction stream
+    (operation matrices, parameters, wire bindings) share a fingerprint
+    regardless of object identity or name.  Gate matrices are hashed, so
+    ``UnitaryGate`` and ``StatePreparation`` contents are captured exactly.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{circuit.num_qubits}|{circuit.num_clbits}".encode())
+    for inst in circuit.data:
+        op = inst.operation
+        digest.update(op.name.encode())
+        digest.update(repr(inst.qubits).encode())
+        if inst.clbits:
+            digest.update(repr(inst.clbits).encode())
+        if op.params:
+            digest.update(np.asarray(op.params, dtype=float).tobytes())
+        if inst.is_gate:
+            digest.update(np.ascontiguousarray(op.matrix).tobytes())
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """Cache and execution accounting for one :class:`ExecutionEngine`."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batch_dedup_hits: int = 0
+    uncacheable: int = 0
+    executed: int = 0
+    # Density-matrix runs that reused a cached pre-readout distribution
+    # (same circuit + gate noise under a different readout model).
+    state_cache_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.cache_hits + self.batch_dedup_hits
+        return served / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batch_dedup_hits = 0
+        self.uncacheable = 0
+        self.executed = 0
+        self.state_cache_hits = 0
+
+
+@dataclasses.dataclass
+class _Prepared:
+    """A request after compaction and key derivation."""
+
+    compact: QuantumCircuit
+    active: list[int]
+    noise: NoiseModel
+    method: str
+    seed: int | None
+    key: tuple | None  # None => not cacheable
+    fingerprint: str = ""
+
+
+class ExecutionEngine:
+    """Batched, cached execution front-end over the simulators.
+
+    Parameters
+    ----------
+    density_matrix_threshold:
+        Widest (compacted) noisy circuit simulated exactly; wider circuits
+        use Monte-Carlo trajectories.
+    max_trajectories:
+        Trajectory budget per circuit for the stochastic path.
+    cache_size:
+        Maximum number of cached results (LRU eviction).
+    compact:
+        Drop idle wires (and remap the noise model accordingly) before
+        simulating.  Disable only for debugging; results are identical.
+    """
+
+    def __init__(
+        self,
+        density_matrix_threshold: int = DEFAULT_DENSITY_MATRIX_THRESHOLD,
+        max_trajectories: int = 600,
+        cache_size: int = 32768,
+        compact: bool = True,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.density_matrix_threshold = int(density_matrix_threshold)
+        self.max_trajectories = int(max_trajectories)
+        self.cache_size = int(cache_size)
+        self.compact = bool(compact)
+        self.stats = EngineStats()
+        # Maps result keys -> ExecutionResult and "dm-state" keys -> the
+        # (distribution, measured_qubits) pre-readout payload.
+        self._cache: OrderedDict[tuple, Any] = OrderedDict()
+        # Per-object memos, all keyed weakly on the live NoiseModel and
+        # tagged with its mutation version so an in-place ``set_*`` call
+        # invalidates them instead of serving stale derived data.
+        # noise model -> (version, fingerprint)
+        self._noise_fingerprints: "weakref.WeakKeyDictionary[NoiseModel, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # noise model -> (version, gate-noise-only model, its fingerprint);
+        # avoids a deep copy + rehash per density-matrix request.
+        self._gate_noise: "weakref.WeakKeyDictionary[NoiseModel, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # noise model -> (version, {active-wire tuple: remapped model});
+        # subset circuits sharing a compaction reuse one remapped model (and
+        # therefore its memoised fingerprint) instead of rebuilding and
+        # re-hashing the full device model on every request.
+        self._remapped: "weakref.WeakKeyDictionary[NoiseModel, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: NoiseModel | None = None,
+        shots: int | None = None,
+        seed: int | None = None,
+        method: str = "auto",
+        max_trajectories: int | None = None,
+    ) -> ExecutionResult:
+        """Run one circuit through the cache (see :meth:`execute_many`)."""
+        return self.execute_many(
+            [circuit],
+            noise_model=noise_model,
+            shots=shots,
+            seed=seed,
+            method=method,
+            max_trajectories=max_trajectories,
+        )[0]
+
+    def execute_many(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        noise_model: NoiseModel | None = None,
+        shots: int | None = None,
+        seed: int | None = None,
+        method: str = "auto",
+        max_trajectories: int | None = None,
+    ) -> list[ExecutionResult]:
+        """Run a batch of circuits, deduplicating and caching shared work.
+
+        All circuits share the noise model and shot budget (the common case:
+        one batch of subset/check-variant circuits per mitigation step).
+        Identical circuits are executed once; every requester receives a
+        result equal to what a sequential :func:`~repro.simulators.execute.execute`
+        call would produce.  ``seed`` decorrelates distinct circuits (each
+        derives its own seed from the base seed and its fingerprint) while
+        keeping identical circuits bit-identical.
+
+        Returns one :class:`~repro.simulators.result.ExecutionResult` per
+        input circuit, in input order.
+        """
+        noise_model = noise_model or NoiseModel.ideal()
+        max_trajectories = max_trajectories or self.max_trajectories
+        prepared = [
+            self._prepare(circuit, noise_model, shots, seed, method, max_trajectories)
+            for circuit in circuits
+        ]
+
+        results: list[ExecutionResult | None] = [None] * len(prepared)
+        batch_first: dict[tuple, ExecutionResult] = {}
+        for index, request in enumerate(prepared):
+            self.stats.requests += 1
+            if request.key is None:
+                self.stats.uncacheable += 1
+                results[index] = self._run(request, shots, max_trajectories)
+                continue
+            if request.key in batch_first:
+                self.stats.batch_dedup_hits += 1
+                results[index] = self._deliver(batch_first[request.key], request)
+                continue
+            cached = self._cache_get(request.key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[index] = self._deliver(cached, request)
+                continue
+            self.stats.cache_misses += 1
+            result = self._run(request, shots, max_trajectories)
+            self._cache_put(request.key, result)
+            batch_first[request.key] = result
+            # The requester gets a shell copy too — handing out the
+            # cache-backing object would let caller mutations poison
+            # every later hit on this key.
+            results[index] = self._deliver(result, request)
+        return [r for r in results if r is not None]
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Request preparation
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: NoiseModel,
+        shots: int | None,
+        seed: int | None,
+        method: str,
+        max_trajectories: int,
+    ) -> _Prepared:
+        if method not in ("auto", "statevector", "density_matrix", "trajectory"):
+            raise ValueError(f"unknown method {method!r}")
+        if self.compact:
+            compact, active = circuit.compact_qubits()
+            if len(active) < circuit.num_qubits:
+                noise = self._remapped_noise(noise_model, active)
+            else:
+                noise = noise_model
+        else:
+            compact, active = circuit, list(range(circuit.num_qubits))
+            noise = noise_model
+        resolved = method
+        if resolved == "auto":
+            if noise.is_ideal:
+                resolved = "statevector"
+            elif compact.num_qubits <= self.density_matrix_threshold:
+                resolved = "density_matrix"
+            else:
+                resolved = "trajectory"
+
+        fingerprint = circuit_fingerprint(compact)
+        derived_seed = _derive_seed(seed, fingerprint)
+        stochastic = resolved == "trajectory" or shots is not None
+        cacheable = not stochastic or derived_seed is not None
+        key = None
+        if cacheable:
+            key = (
+                fingerprint,
+                self._noise_fingerprint(noise),
+                resolved,
+                shots,
+                derived_seed,
+                max_trajectories if resolved == "trajectory" else None,
+            )
+        return _Prepared(
+            compact=compact,
+            active=active,
+            noise=noise,
+            method=resolved,
+            seed=derived_seed,
+            key=key,
+            fingerprint=fingerprint,
+        )
+
+    def _noise_fingerprint(self, noise_model: NoiseModel) -> str:
+        # Noise models are reused across thousands of requests (QuTracer holds
+        # one per layout assignment); memoise per live object.  The weak key
+        # rules out id-reuse staleness, the version tag rules out in-place
+        # mutation staleness (``set_*`` bumps ``NoiseModel.version``).
+        version = noise_model.version
+        cached = self._noise_fingerprints.get(noise_model)
+        if cached is None or cached[0] != version:
+            cached = (version, noise_model.fingerprint())
+            self._noise_fingerprints[noise_model] = cached
+        return cached[1]
+
+    def _remapped_noise(self, noise_model: NoiseModel, active: Sequence[int]) -> NoiseModel:
+        # Memoised noise_model.remap_qubits for a compaction: every subset
+        # circuit with the same active wires shares one remapped model, so its
+        # fingerprint is hashed once instead of once per request.
+        version = noise_model.version
+        entry = self._remapped.get(noise_model)
+        if entry is None or entry[0] != version:
+            entry = (version, {})
+            self._remapped[noise_model] = entry
+        per_subset = entry[1]
+        key = tuple(active)
+        remapped = per_subset.get(key)
+        if remapped is None:
+            if len(per_subset) >= 4096:  # runaway-subset backstop
+                per_subset.clear()
+            remapped = noise_model.remap_qubits({q: i for i, q in enumerate(active)})
+            per_subset[key] = remapped
+        return remapped
+
+    # ------------------------------------------------------------------
+    # Execution and delivery
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, request: _Prepared, shots: int | None, max_trajectories: int
+    ) -> ExecutionResult:
+        self.stats.executed += 1
+        if request.method == "trajectory":
+            counts, measured_qubits = simulate_trajectories_batched(
+                request.compact,
+                request.noise,
+                shots=shots or 4096,
+                seed=request.seed,
+                max_trajectories=max_trajectories,
+            )
+            result = ExecutionResult(
+                distribution=counts.to_distribution(),
+                measured_qubits=measured_qubits,
+                counts=counts,
+                shots=counts.shots,
+                method="trajectory",
+            )
+        elif request.method == "density_matrix":
+            distribution, measured_qubits = self._density_matrix_distribution(request)
+            result = ExecutionResult(
+                distribution=distribution,
+                measured_qubits=measured_qubits,
+                method="density_matrix",
+            )
+            if shots is not None:
+                rng = np.random.default_rng(request.seed)
+                counts = distribution.sample(shots, rng)
+                result.counts = counts
+                result.shots = shots
+                result.distribution = counts.to_distribution()
+        else:
+            result = execute(
+                request.compact,
+                request.noise,
+                shots=shots,
+                seed=request.seed,
+                method=request.method,
+                density_matrix_threshold=self.density_matrix_threshold,
+                max_trajectories=max_trajectories,
+            )
+        result.measured_qubits = [request.active[q] for q in result.measured_qubits]
+        return result
+
+    def _density_matrix_distribution(self, request: _Prepared):
+        """Exact noisy distribution with readout factored out of the cache key.
+
+        The expensive part of a density-matrix execution — evolving the state
+        through the gates and gate-noise channels — does not depend on the
+        readout model, so the pre-readout distribution is cached under
+        (circuit, gate noise) and this request's readout confusion is applied
+        on top.  A sweep over measurement-error rates (Fig. 7) re-simulates
+        nothing; and because the simulation is deterministic, the state cache
+        serves unseeded requests too.
+        """
+        version = request.noise.version
+        memo = self._gate_noise.get(request.noise)
+        if memo is None or memo[0] != version:
+            gate_noise = request.noise.without_readout_errors()
+            memo = (version, gate_noise, self._noise_fingerprint(gate_noise))
+            self._gate_noise[request.noise] = memo
+        _, gate_noise, gate_fingerprint = memo
+        state_key = ("dm-state", request.fingerprint, gate_fingerprint)
+        cached = self._cache_get(state_key)
+        if cached is None:
+            distribution, measured_qubits = noisy_distribution_density_matrix(
+                request.compact, gate_noise
+            )
+            self._cache_put(state_key, (distribution, measured_qubits))
+        else:
+            self.stats.state_cache_hits += 1
+            distribution, measured_qubits = cached
+        for bit, qubit in enumerate(measured_qubits):
+            error = request.noise.readout_error(qubit)
+            if error is not None:
+                distribution = _apply_confusion_bit(distribution, bit, error.confusion_matrix)
+        return distribution, list(measured_qubits)
+
+    def _deliver(self, source: ExecutionResult, request: _Prepared) -> ExecutionResult:
+        # Hand each requester its own ExecutionResult shell so callers can
+        # attach metadata without corrupting the cache; the heavy payloads
+        # (distribution, counts) are shared read-only.
+        return ExecutionResult(
+            distribution=source.distribution,
+            measured_qubits=list(source.measured_qubits),
+            counts=source.counts,
+            shots=source.shots,
+            method=source.method,
+            metadata=dict(source.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # LRU cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: tuple) -> Any:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: tuple, result: Any) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+
+def _derive_seed(seed: int | None, fingerprint: str) -> int | None:
+    """Per-circuit seed: decorrelated across circuits, equal for equals."""
+    if seed is None:
+        return None
+    digest = hashlib.sha256(f"{seed}:{fingerprint}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+_default_engine: ExecutionEngine | None = None
+
+
+def get_default_engine() -> ExecutionEngine:
+    """Process-wide shared engine used when a consumer does not bring its own."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExecutionEngine()
+    return _default_engine

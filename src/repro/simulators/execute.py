@@ -1,4 +1,4 @@
-"""Unified execution front-end used by the mitigation and QuTracer layers.
+"""One-shot circuit execution: the uncached single-circuit primitive.
 
 :func:`execute` picks the cheapest simulation method that is exact enough:
 
@@ -9,6 +9,12 @@
 
 Callers that need reproducible statistics pass ``seed``; all stochastic paths
 derive their randomness from it.
+
+Most of the codebase should **not** call this directly: the mitigation and
+QuTracer layers submit their subset/check-variant circuits through
+:class:`repro.simulators.engine.ExecutionEngine`, which batches, deduplicates
+and caches executions (and compacts idle wires) on top of this primitive.
+See ``docs/architecture.md`` for how the two layers fit together.
 """
 
 from __future__ import annotations

@@ -125,14 +125,32 @@ def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
 
     If the circuit has measurements, the distribution is over the measured
     clbits (sorted); otherwise it is over all qubits.
+
+    Idle wires are compacted away before simulation, so a small circuit
+    embedded on a wide device (e.g. a transpiled 4-qubit circuit on a
+    27-qubit coupling map) costs ``2**k`` rather than ``2**n`` memory.
+    Idle qubits contribute deterministic 0 bits to the unmeasured case.
     """
-    state = simulate_statevector(circuit)
+    compact, active = circuit.compact_qubits()
+    state = simulate_statevector(compact)
     clbit_to_qubit: dict[int, int] = {}
-    for inst in circuit.data:
+    for inst in compact.data:
         if inst.is_measurement:
             clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if not clbit_to_qubit:
-        return state.probability_distribution()
-    clbits = sorted(clbit_to_qubit)
-    qubits = [clbit_to_qubit[c] for c in clbits]
-    return state.probability_distribution(qubits)
+    if clbit_to_qubit:
+        clbits = sorted(clbit_to_qubit)
+        qubits = [clbit_to_qubit[c] for c in clbits]
+        return state.probability_distribution(qubits)
+    compact_distribution = state.probability_distribution()
+    if compact.num_qubits == circuit.num_qubits:
+        return compact_distribution
+    # Scatter each compact outcome's bits back to their original wire
+    # positions; the dropped wires were never touched so they read 0.
+    expanded: dict[int, float] = {}
+    for outcome, probability in compact_distribution.items():
+        full = 0
+        for bit, original in enumerate(active):
+            if (outcome >> bit) & 1:
+                full |= 1 << original
+        expanded[full] = expanded.get(full, 0.0) + probability
+    return ProbabilityDistribution(expanded, circuit.num_qubits)

@@ -21,7 +21,7 @@ from .apply import (
     statevector_probabilities,
 )
 
-__all__ = ["simulate_trajectories"]
+__all__ = ["simulate_trajectories", "simulate_trajectories_batched"]
 
 
 def simulate_trajectories(
@@ -40,23 +40,12 @@ def simulate_trajectories(
     measurement shots are spread evenly across trajectories.  For ideal noise
     models a single trajectory is used.
     """
-    if shots <= 0:
-        raise ValueError("shots must be positive")
     noise_model = noise_model or NoiseModel.ideal()
     rng = np.random.default_rng(seed)
-
-    clbit_to_qubit: dict[int, int] = {}
-    for inst in circuit.data:
-        if inst.is_measurement:
-            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if clbit_to_qubit:
-        clbits = sorted(clbit_to_qubit)
-        measured_qubits = [clbit_to_qubit[c] for c in clbits]
-    else:
-        measured_qubits = list(range(circuit.num_qubits))
-
-    num_trajectories = 1 if not noise_model.has_gate_errors else min(shots, max_trajectories)
-    shots_per_trajectory = _spread(shots, num_trajectories)
+    measured_qubits = _measurement_layout(circuit)
+    num_trajectories, shots_per_trajectory = _trajectory_plan(
+        shots, noise_model, max_trajectories
+    )
 
     readout = noise_model.readout_errors_for(measured_qubits)
     flip_given_0 = np.array(
@@ -78,6 +67,184 @@ def simulate_trajectories(
             measured = _apply_readout_flips(int(outcome), flip_given_0, flip_given_1, rng)
             counts[measured] = counts.get(measured, 0) + 1
     return Counts(counts, len(measured_qubits)), measured_qubits
+
+
+def simulate_trajectories_batched(
+    circuit: QuantumCircuit,
+    noise_model: NoiseModel | None = None,
+    shots: int = 4096,
+    seed: int | None = None,
+    max_trajectories: int = 600,
+) -> tuple[Counts, list[int]]:
+    """Vectorized variant of :func:`simulate_trajectories`.
+
+    Same interface and statistics, different inner loop:
+
+    * **Batched error-insertion sampling** — for *unitary-mixture* channels
+      (Pauli/depolarizing channels, where every Kraus operator is a scaled
+      unitary) the Born probability ``<psi|K^dagger K|psi> = p_k`` is
+      state-independent, so the inserted operator index is pre-sampled for
+      every (trajectory, error site) pair in one vectorized draw per site
+      instead of computing a reduced density matrix per trajectory per site.
+      Non-unitary channels (amplitude damping) keep exact per-state sampling.
+    * **Vectorized readout flips** — measurement bit flips are applied to the
+      whole shot batch with array operations rather than shot-by-shot.
+
+    The RNG stream differs from :func:`simulate_trajectories`, so the two
+    functions agree in distribution but not shot-for-shot.  Results are
+    reproducible for a fixed ``seed``.
+    """
+    noise_model = noise_model or NoiseModel.ideal()
+    rng = np.random.default_rng(seed)
+    measured_qubits = _measurement_layout(circuit)
+    num_trajectories, shots_per_trajectory = _trajectory_plan(
+        shots, noise_model, max_trajectories
+    )
+    shots_per_trajectory = np.array(shots_per_trajectory)
+
+    # ------------------------------------------------------------------
+    # One pass over the circuit: collect the gate list and classify every
+    # error-insertion site.
+    # ------------------------------------------------------------------
+    gate_ops: list[tuple[np.ndarray, tuple[int, ...]]] = []
+    # Per gate, a list of sites; each site is either
+    #   ("mixture", qubits, unitaries, identity_flags, presampled_indices) or
+    #   ("general", qubits, operators).
+    sites_per_gate: list[list[tuple]] = []
+    for inst in circuit.data:
+        if inst.is_barrier or inst.is_measurement:
+            continue
+        if not inst.is_gate:
+            raise ValueError(f"cannot simulate instruction {inst.name!r}")
+        gate_ops.append((inst.operation.matrix, inst.qubits))
+        sites: list[tuple] = []
+        for channel, qubits in noise_model.channels_for(inst):
+            if channel.is_identity():
+                continue
+            mixture = _as_unitary_mixture(channel.operators)
+            if mixture is not None:
+                probabilities, unitaries, identity_flags = mixture
+                indices = rng.choice(
+                    len(unitaries), size=num_trajectories, p=probabilities
+                )
+                sites.append(("mixture", qubits, unitaries, identity_flags, indices))
+            else:
+                sites.append(("general", qubits, channel.operators))
+        sites_per_gate.append(sites)
+
+    # ------------------------------------------------------------------
+    # Run the trajectories with the pre-sampled insertions.
+    # ------------------------------------------------------------------
+    num_qubits = circuit.num_qubits
+    all_outcomes: list[np.ndarray] = []
+    for trajectory in range(num_trajectories):
+        state = np.zeros(2**num_qubits, dtype=complex)
+        state[0] = 1.0
+        for (matrix, qubits), sites in zip(gate_ops, sites_per_gate):
+            state = apply_matrix_to_statevector(state, matrix, qubits, num_qubits)
+            for site in sites:
+                if site[0] == "mixture":
+                    _, site_qubits, unitaries, identity_flags, indices = site
+                    index = int(indices[trajectory])
+                    if identity_flags[index]:
+                        continue
+                    state = apply_matrix_to_statevector(
+                        state, unitaries[index], site_qubits, num_qubits
+                    )
+                else:
+                    _, site_qubits, operators = site
+                    state = _apply_channel_stochastically(
+                        state, operators, site_qubits, num_qubits, rng
+                    )
+        probs = statevector_probabilities(state, measured_qubits, num_qubits)
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        trajectory_shots = int(shots_per_trajectory[trajectory])
+        if trajectory_shots:
+            all_outcomes.append(rng.choice(probs.size, size=trajectory_shots, p=probs))
+
+    outcomes = np.concatenate(all_outcomes) if all_outcomes else np.zeros(0, dtype=int)
+    measured = _apply_readout_flips_batched(outcomes, noise_model, measured_qubits, rng)
+    values, frequencies = np.unique(measured, return_counts=True)
+    counts = {int(v): int(f) for v, f in zip(values, frequencies)}
+    return Counts(counts, len(measured_qubits)), measured_qubits
+
+
+def _as_unitary_mixture(
+    operators: list[np.ndarray], atol: float = 1e-10
+) -> tuple[np.ndarray, list[np.ndarray], list[bool]] | None:
+    """Decompose a channel into ``{p_k, U_k}`` when every Kraus operator is a
+    scaled unitary (``K_k = sqrt(p_k) U_k``); return ``None`` otherwise.
+
+    The returned identity flags mark operators proportional to the identity,
+    whose application can be skipped entirely (global phase).
+    """
+    probabilities = []
+    unitaries = []
+    identity_flags = []
+    for op in operators:
+        gram = op.conj().T @ op
+        p = float(np.real(gram[0, 0]))
+        if p <= atol:
+            continue
+        if not np.allclose(gram, p * np.eye(gram.shape[0]), atol=atol):
+            return None
+        unitary = op / np.sqrt(p)
+        probabilities.append(p)
+        unitaries.append(unitary)
+        identity_flags.append(
+            bool(np.allclose(unitary, unitary[0, 0] * np.eye(unitary.shape[0]), atol=atol))
+        )
+    total = sum(probabilities)
+    if not probabilities or abs(total - 1.0) > 1e-8:
+        return None
+    return np.array(probabilities) / total, unitaries, identity_flags
+
+
+def _apply_readout_flips_batched(
+    outcomes: np.ndarray,
+    noise_model: NoiseModel,
+    measured_qubits: list[int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply per-qubit readout confusion to a whole batch of outcomes at once."""
+    readout = noise_model.readout_errors_for(measured_qubits)
+    if not readout or outcomes.size == 0:
+        return outcomes
+    num_bits = len(measured_qubits)
+    flip_given_0 = np.array(
+        [readout[q].prob_1_given_0 if q in readout else 0.0 for q in measured_qubits]
+    )
+    flip_given_1 = np.array(
+        [readout[q].prob_0_given_1 if q in readout else 0.0 for q in measured_qubits]
+    )
+    bits = (outcomes[:, None] >> np.arange(num_bits)) & 1
+    flip_probabilities = np.where(bits == 1, flip_given_1, flip_given_0)
+    flips = rng.random(bits.shape) < flip_probabilities
+    flipped = bits ^ flips
+    return (flipped << np.arange(num_bits)).sum(axis=1)
+
+
+def _measurement_layout(circuit: QuantumCircuit) -> list[int]:
+    """Measured qubits in clbit order (bit ``i`` of an outcome is qubit
+    ``layout[i]``); every qubit when the circuit has no measurements."""
+    clbit_to_qubit: dict[int, int] = {}
+    for inst in circuit.data:
+        if inst.is_measurement:
+            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+    if clbit_to_qubit:
+        return [clbit_to_qubit[c] for c in sorted(clbit_to_qubit)]
+    return list(range(circuit.num_qubits))
+
+
+def _trajectory_plan(
+    shots: int, noise_model: NoiseModel, max_trajectories: int
+) -> tuple[int, list[int]]:
+    """Number of noise realisations and the per-trajectory shot split."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    num_trajectories = 1 if not noise_model.has_gate_errors else min(shots, max_trajectories)
+    return num_trajectories, _spread(shots, num_trajectories)
 
 
 def _spread(total: int, parts: int) -> list[int]:

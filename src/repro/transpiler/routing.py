@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import networkx as nx
+
 from ..circuits import QuantumCircuit
 from .coupling import CouplingMap
 
 __all__ = ["route_circuit"]
 
 
-def route_circuit(circuit: QuantumCircuit, coupling: CouplingMap) -> QuantumCircuit:
+def route_circuit(
+    circuit: QuantumCircuit, coupling: CouplingMap, max_swaps: int | None = None
+) -> QuantumCircuit:
     """Insert SWAPs so every two-qubit gate acts on coupled qubits.
 
     A simple greedy router: when a gate's operands are not adjacent, the
@@ -16,18 +20,39 @@ def route_circuit(circuit: QuantumCircuit, coupling: CouplingMap) -> QuantumCirc
     second.  The logical-to-physical assignment therefore drifts during the
     circuit; measurements are rewritten so the measured *logical* bits stay
     the same, which is what the fidelity comparison needs.
+
+    ``max_swaps`` bounds the total number of inserted SWAPs; the default
+    budget is ``num_qubits`` SWAPs per two-qubit gate, which every shortest
+    path fits inside (a path on the coupling graph has at most
+    ``num_qubits - 1`` edges).  The router raises :class:`RuntimeError` if
+    the budget is ever exceeded, so a routing bug fails loudly instead of
+    looping forever.  Gates between disconnected qubits raise
+    :class:`ValueError`.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError("circuit does not fit on the coupling map")
+    if max_swaps is None:
+        num_two_qubit_gates = sum(1 for inst in circuit.data if inst.is_two_qubit_gate)
+        max_swaps = coupling.num_qubits * max(num_two_qubit_gates, 1)
     # position[logical] = physical wire currently holding that logical qubit
     position = {q: q for q in range(coupling.num_qubits)}
     routed = QuantumCircuit(coupling.num_qubits, circuit.num_clbits, f"{circuit.name}_routed")
     routed.metadata = dict(circuit.metadata)
+    swaps_used = 0
 
     def physical(logical: int) -> int:
         return position[logical]
 
     def swap(a_physical: int, b_physical: int) -> None:
+        nonlocal swaps_used
+        swaps_used += 1
+        if swaps_used > max_swaps:
+            raise RuntimeError(
+                f"router exceeded its budget of {max_swaps} SWAPs; the greedy "
+                "routing is not converging (this is a bug or an adversarial "
+                "coupling map — raise max_swaps only if the budget is genuinely "
+                "too small)"
+            )
         routed.swap(a_physical, b_physical)
         inverse = {v: k for k, v in position.items()}
         logical_a, logical_b = inverse[a_physical], inverse[b_physical]
@@ -45,7 +70,13 @@ def route_circuit(circuit: QuantumCircuit, coupling: CouplingMap) -> QuantumCirc
         if len(inst.qubits) == 2:
             a, b = inst.qubits
             while not coupling.are_adjacent(physical(a), physical(b)):
-                path = coupling.shortest_path(physical(a), physical(b))
+                try:
+                    path = coupling.shortest_path(physical(a), physical(b))
+                except nx.NetworkXNoPath as exc:
+                    raise ValueError(
+                        f"qubits {physical(a)} and {physical(b)} are not connected "
+                        "on the coupling map; the gate cannot be routed"
+                    ) from exc
                 swap(path[0], path[1])
             routed.append(inst.operation, (physical(a), physical(b)))
             continue

@@ -1,0 +1,305 @@
+"""Tests for the batched, cached :class:`repro.simulators.ExecutionEngine`."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel
+from repro.simulators import (
+    ExecutionEngine,
+    circuit_fingerprint,
+    execute,
+    get_default_engine,
+    simulate_trajectories_batched,
+)
+
+
+def ghz(num_qubits: int = 3) -> QuantumCircuit:
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    qc.measure_all()
+    return qc
+
+
+def noisy_model() -> NoiseModel:
+    return NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.03)
+
+
+class TestFingerprints:
+    def test_identical_structure_same_fingerprint(self):
+        assert circuit_fingerprint(ghz()) == circuit_fingerprint(ghz())
+
+    def test_name_is_ignored(self):
+        a, b = ghz(), ghz()
+        b.name = "other"
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_different_gates_differ(self):
+        other = ghz()
+        other.x(0)
+        assert circuit_fingerprint(ghz()) != circuit_fingerprint(other)
+
+    def test_parameter_changes_differ(self):
+        a = QuantumCircuit(1)
+        a.rx(0.3, 0)
+        b = QuantumCircuit(1)
+        b.rx(0.4, 0)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_noise_fingerprint_content_addressed(self):
+        assert noisy_model().fingerprint() == noisy_model().fingerprint()
+        assert noisy_model().fingerprint() != NoiseModel.depolarizing(p2=0.01).fingerprint()
+        assert NoiseModel.ideal().fingerprint() == NoiseModel.ideal().fingerprint()
+
+
+class TestNoiseRemap:
+    def test_remap_moves_per_qubit_entries(self):
+        model = NoiseModel.depolarizing(p1=0.01, readout={5: 0.2})
+        remapped = model.remap_qubits({5: 0})
+        assert remapped.readout_error(0) is not None
+        assert remapped.readout_error(5) is None
+
+    def test_remap_drops_absent_qubits(self):
+        model = NoiseModel.depolarizing(readout={3: 0.1, 7: 0.2})
+        remapped = model.remap_qubits({3: 0})
+        assert remapped.readout_error(0) is not None
+        assert remapped.readout_error(1) is None
+
+
+class TestCacheAccounting:
+    def test_hits_and_misses(self):
+        engine = ExecutionEngine()
+        circuit = ghz()
+        engine.execute(circuit, noisy_model(), shots=500, seed=3)
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 0
+        engine.execute(circuit, noisy_model(), shots=500, seed=3)
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.executed == 1
+        assert engine.stats.hit_rate == pytest.approx(0.5)
+
+    def test_different_key_misses(self):
+        engine = ExecutionEngine()
+        circuit = ghz()
+        engine.execute(circuit, noisy_model(), shots=500, seed=3)
+        engine.execute(circuit, noisy_model(), shots=500, seed=4)
+        engine.execute(circuit, noisy_model(), shots=600, seed=3)
+        engine.execute(circuit, NoiseModel.depolarizing(p2=0.2), shots=500, seed=3)
+        assert engine.stats.cache_misses == 4
+        assert engine.stats.cache_hits == 0
+
+    def test_unseeded_sampling_is_uncacheable(self):
+        engine = ExecutionEngine()
+        circuit = ghz()
+        engine.execute(circuit, noisy_model(), shots=500)
+        engine.execute(circuit, noisy_model(), shots=500)
+        assert engine.stats.uncacheable == 2
+        assert engine.stats.executed == 2
+
+    def test_exact_unsampled_is_cacheable_without_seed(self):
+        engine = ExecutionEngine()
+        circuit = ghz()
+        engine.execute(circuit, noisy_model())
+        engine.execute(circuit, noisy_model())
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.executed == 1
+
+    def test_lru_eviction(self):
+        engine = ExecutionEngine(cache_size=2)
+        circuits = []
+        for i in range(3):
+            qc = QuantumCircuit(2, 2)
+            qc.rx(0.1 * (i + 1), 0).cx(0, 1).measure_all()
+            circuits.append(qc)
+        for qc in circuits:
+            engine.execute(qc, noisy_model())
+        assert engine.cache_len == 2
+        engine.execute(circuits[0], noisy_model())  # evicted -> miss
+        assert engine.stats.cache_misses == 4
+
+
+class TestBatchDeduplication:
+    def test_duplicates_executed_once(self):
+        engine = ExecutionEngine()
+        batch = [ghz(), ghz(), ghz(), ghz()]
+        results = engine.execute_many(batch, noisy_model(), shots=400, seed=11)
+        assert engine.stats.executed == 1
+        assert engine.stats.batch_dedup_hits == 3
+        reference = results[0].distribution.to_dict()
+        for result in results[1:]:
+            assert result.distribution.to_dict() == reference
+
+    def test_dedup_matches_sequential_execution(self):
+        model = noisy_model()
+        batch = [ghz(), ghz(4), ghz()]
+        engine = ExecutionEngine()
+        batched = engine.execute_many(batch, model, shots=400, seed=7)
+        sequential = [
+            ExecutionEngine().execute(circuit, model, shots=400, seed=7)
+            for circuit in batch
+        ]
+        for a, b in zip(batched, sequential):
+            assert a.distribution.to_dict() == b.distribution.to_dict()
+            assert a.measured_qubits == b.measured_qubits
+
+    def test_exact_method_matches_plain_execute(self):
+        circuit = ghz()
+        model = noisy_model()
+        engine_result = ExecutionEngine().execute(circuit, model)
+        plain_result = execute(circuit, model)
+        assert engine_result.method == plain_result.method == "density_matrix"
+        for outcome, probability in plain_result.distribution.items():
+            assert engine_result.distribution[outcome] == pytest.approx(probability)
+
+    def test_results_are_independent_shells(self):
+        engine = ExecutionEngine()
+        first, second = engine.execute_many([ghz(), ghz()], noisy_model(), shots=100, seed=1)
+        first.metadata["tag"] = "mine"
+        assert "tag" not in second.metadata
+
+    def test_miss_path_result_cannot_poison_cache(self):
+        engine = ExecutionEngine()
+        first = engine.execute(ghz(), noisy_model(), shots=100, seed=3)
+        first.metadata["tag"] = "mine"
+        first.measured_qubits.reverse()
+        hit = engine.execute(ghz(), noisy_model(), shots=100, seed=3)
+        assert engine.stats.cache_hits == 1
+        assert hit.metadata == {}
+        assert hit.measured_qubits == sorted(hit.measured_qubits)
+
+    def test_in_place_noise_mutation_invalidates_memos(self):
+        from repro.noise.readout import ReadoutError
+
+        engine = ExecutionEngine()
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.05)
+        before = engine.execute(ghz(), model).distribution
+        model.set_readout_error(ReadoutError(0.3, 0.3))
+        after = engine.execute(ghz(), model).distribution
+        fresh = ExecutionEngine().execute(ghz(), model).distribution
+        assert after.to_dict() == fresh.to_dict()
+        assert after.to_dict() != before.to_dict()
+
+
+class TestCompaction:
+    def test_remapped_noise_is_memoised_per_subset(self):
+        wide = QuantumCircuit(8, 2)
+        wide.h(2).cx(2, 5)
+        wide.measure(2, 0)
+        wide.measure(5, 1)
+        engine = ExecutionEngine()
+        model = noisy_model()
+        first = engine._prepare(wide, model, None, 1, "auto", 600)
+        second = engine._prepare(wide, model, None, 1, "auto", 600)
+        assert first.noise is second.noise  # one remap + one fingerprint hash
+        model.set_default_1q_error(model._default_1q[0])
+        third = engine._prepare(wide, model, None, 1, "auto", 600)
+        assert third.noise is not first.noise  # mutation invalidates the memo
+
+    def test_idle_wires_do_not_widen_simulation(self):
+        wide = QuantumCircuit(24, 24)
+        wide.h(3).cx(3, 17)
+        wide.measure(3, 3)
+        wide.measure(17, 17)
+        engine = ExecutionEngine()
+        result = engine.execute(wide, noisy_model(), shots=500, seed=2)
+        # Two active wires -> exact density-matrix simulation, not trajectories.
+        assert result.method == "density_matrix"
+        assert result.measured_qubits == [3, 17]
+        assert result.bit_for_qubit(17) == 1
+
+    def test_compaction_preserves_distribution(self):
+        # Narrow enough that both engines use the exact density-matrix
+        # method, so the two distributions must agree to rounding error.
+        wide = QuantumCircuit(8, 8)
+        wide.h(5).cx(5, 2)
+        wide.measure(5, 5)
+        wide.measure(2, 2)
+        compact_result = ExecutionEngine().execute(wide, noisy_model())
+        plain_result = ExecutionEngine(compact=False).execute(wide, noisy_model())
+        assert compact_result.method == plain_result.method == "density_matrix"
+        for outcome in range(4):
+            assert compact_result.distribution[outcome] == pytest.approx(
+                plain_result.distribution[outcome], abs=1e-9
+            )
+
+    def test_per_qubit_noise_follows_compaction(self):
+        # Readout error lives on qubit 11; after compaction it must still
+        # apply to that logical wire.
+        wide = QuantumCircuit(12, 12)
+        wide.x(11)
+        wide.measure(11, 11)
+        model = NoiseModel.depolarizing(readout={11: 0.25})
+        result = ExecutionEngine().execute(wide, model)
+        assert result.distribution[0] == pytest.approx(0.25)
+        assert result.distribution[1] == pytest.approx(0.75)
+
+
+class TestVectorizedTrajectories:
+    def wide_noisy_circuit(self) -> QuantumCircuit:
+        qc = QuantumCircuit(12, 12)
+        for q in range(12):
+            qc.h(q)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        return qc
+
+    def test_seed_reproducibility(self):
+        circuit = self.wide_noisy_circuit()
+        model = noisy_model()
+        counts_a, qubits_a = simulate_trajectories_batched(
+            circuit, model, shots=400, seed=21, max_trajectories=50
+        )
+        counts_b, qubits_b = simulate_trajectories_batched(
+            circuit, model, shots=400, seed=21, max_trajectories=50
+        )
+        assert qubits_a == qubits_b
+        assert counts_a.to_dict() == counts_b.to_dict()
+
+    def test_engine_uses_batched_path_reproducibly(self):
+        circuit = self.wide_noisy_circuit()
+        model = noisy_model()
+        a = ExecutionEngine().execute(circuit, model, shots=300, seed=5)
+        b = ExecutionEngine().execute(circuit, model, shots=300, seed=5)
+        assert a.method == "trajectory"
+        assert a.counts.to_dict() == b.counts.to_dict()
+
+    def test_matches_loop_implementation_statistically(self):
+        # Bell pair with depolarizing noise: compare the batched sampler with
+        # the exact density-matrix distribution.
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure_all()
+        model = noisy_model()
+        exact = execute(qc, model, method="density_matrix").distribution
+        counts, _ = simulate_trajectories_batched(
+            qc, model, shots=20000, seed=3, max_trajectories=300
+        )
+        sampled = counts.to_distribution()
+        for outcome in range(4):
+            assert sampled[outcome] == pytest.approx(exact[outcome], abs=0.02)
+
+    def test_general_channels_supported(self):
+        # Amplitude damping is not a unitary mixture; the batched sampler
+        # must fall back to exact Born sampling and still match.
+        from repro.noise.channels import amplitude_damping_channel
+
+        model = NoiseModel()
+        model.set_default_1q_error(amplitude_damping_channel(0.3))
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        exact = execute(qc, model, method="density_matrix").distribution
+        counts, _ = simulate_trajectories_batched(
+            qc, model, shots=20000, seed=9, max_trajectories=400
+        )
+        sampled = counts.to_distribution()
+        assert sampled[0] == pytest.approx(exact[0], abs=0.02)
+        assert sampled[1] == pytest.approx(exact[1], abs=0.02)
+
+
+class TestDefaultEngine:
+    def test_default_engine_is_shared(self):
+        assert get_default_engine() is get_default_engine()

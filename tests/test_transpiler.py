@@ -222,3 +222,39 @@ class TestLayoutAndRouting:
         transpiled_dist = ideal_distribution(result.circuit)
         # Compare over the measured logical bits (clbits are preserved).
         assert hellinger_fidelity(ideal, transpiled_dist) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestRouterTermination:
+    """Regression tests for the tier-1 hang: transpiling onto a wide device
+    and simulating the result used to build a ``2**27`` statevector, and the
+    router had no bound on inserted SWAPs."""
+
+    def test_previously_hanging_case_is_fast(self):
+        # Same workload as test_transpile_preserves_distribution; with
+        # idle-wire compaction it simulates 4-5 active wires, not 27.
+        import time
+
+        start = time.perf_counter()
+        result = transpile(vqe_circuit(4, 1, seed=3), device=fake_hanoi())
+        ideal_distribution(result.circuit)
+        assert time.perf_counter() - start < 30.0
+
+    def test_swap_budget_exceeded_raises(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3)
+        with pytest.raises(RuntimeError, match="budget"):
+            route_circuit(qc, CouplingMap(linear_coupling(4)), max_swaps=1)
+
+    def test_default_budget_admits_worst_case_gate(self):
+        # A gate across the full length of a line needs num_qubits - 2 SWAPs;
+        # the default budget must accept it.
+        qc = QuantumCircuit(8)
+        qc.cx(0, 7)
+        routed = route_circuit(qc, CouplingMap(linear_coupling(8)))
+        assert routed.count_ops()["swap"] == 6
+
+    def test_disconnected_coupling_raises_value_error(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3)
+        with pytest.raises(ValueError, match="not connected"):
+            route_circuit(qc, CouplingMap([(0, 1), (2, 3)]))
