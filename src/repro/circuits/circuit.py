@@ -245,6 +245,22 @@ class QuantumCircuit:
     def has_measurements(self) -> bool:
         return any(inst.is_measurement for inst in self.data)
 
+    def measurement_layout(self) -> list[int]:
+        """Measured qubits in clbit order; every qubit when none are measured.
+
+        Bit ``i`` of a measured-output outcome corresponds to qubit
+        ``layout[i]``.  A qubit measured onto several clbits keeps the qubit
+        of its *last* measurement per clbit.  This is the single source of
+        truth for output bit ordering — every simulator backend uses it.
+        """
+        clbit_to_qubit: dict[int, int] = {}
+        for inst in self.data:
+            if inst.is_measurement:
+                clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
+        if clbit_to_qubit:
+            return [clbit_to_qubit[c] for c in sorted(clbit_to_qubit)]
+        return list(range(self.num_qubits))
+
     def count_ops(self) -> Counter:
         """Histogram of operation names, like Qiskit's ``count_ops``."""
         return Counter(inst.name for inst in self.data)

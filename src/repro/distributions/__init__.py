@@ -2,11 +2,12 @@
 
 from .bayesian import bayesian_update, iterative_bayesian_update
 from .hellinger import hellinger_distance, hellinger_fidelity, total_variation_distance
-from .probability import Counts, ProbabilityDistribution
+from .probability import Counts, ProbabilityDistribution, scatter_outcomes
 
 __all__ = [
     "ProbabilityDistribution",
     "Counts",
+    "scatter_outcomes",
     "hellinger_distance",
     "hellinger_fidelity",
     "total_variation_distance",

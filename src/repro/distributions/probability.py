@@ -14,7 +14,35 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["ProbabilityDistribution", "Counts"]
+__all__ = ["ProbabilityDistribution", "Counts", "scatter_outcomes"]
+
+
+def scatter_outcomes(
+    items: Iterable[tuple[int, float]] | Iterable[tuple[int, int]],
+    positions: Sequence[int],
+) -> dict:
+    """Move bit ``i`` of each outcome to bit ``positions[i]``.
+
+    Weights of outcomes that land on the same expanded value accumulate
+    (integer weights stay integers).  Used to expand a compacted result —
+    probabilities or counts over the active wires only — back onto its
+    original wire positions, with the dropped wires reading 0.  An outcome
+    with a set bit beyond ``len(positions)`` has no defined destination and
+    is rejected.
+    """
+    width = len(positions)
+    expanded: dict[int, float | int] = {}
+    for outcome, weight in items:
+        if outcome >> width:
+            raise ValueError(
+                f"outcome {outcome} does not fit in {width} positions"
+            )
+        full = 0
+        for bit, position in enumerate(positions):
+            if (outcome >> bit) & 1:
+                full |= 1 << position
+        expanded[full] = expanded.get(full, 0) + weight
+    return expanded
 
 
 class ProbabilityDistribution:
@@ -125,6 +153,13 @@ class ProbabilityDistribution:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
+
+    def copy(self) -> "ProbabilityDistribution":
+        """Independent copy; mutating one side never affects the other."""
+        new = ProbabilityDistribution.__new__(ProbabilityDistribution)
+        new.num_bits = self.num_bits
+        new._probs = dict(self._probs)
+        return new
 
     def normalized(self) -> "ProbabilityDistribution":
         total = self.total
@@ -248,6 +283,13 @@ class Counts:
         if not bitstrings:
             return dict(self._counts)
         return {format(k, f"0{self.num_bits}b"): v for k, v in self._counts.items()}
+
+    def copy(self) -> "Counts":
+        """Independent copy; mutating one side never affects the other."""
+        new = Counts.__new__(Counts)
+        new.num_bits = self.num_bits
+        new._counts = dict(self._counts)
+        return new
 
     def to_distribution(self) -> ProbabilityDistribution:
         return ProbabilityDistribution.from_counts(self._counts, self.num_bits)

@@ -41,8 +41,8 @@ class NoiseModel:
         self._gate_overrides: dict[str, list[KrausChannel]] = {}
         self._readout: dict[int, ReadoutError] = {}
         self._default_readout: ReadoutError | None = None
-        self.noise_free_qubits: set[int] = set()
-        self.noise_free_gate_names: set[str] = set()
+        self._noise_free_qubits: set[int] = set()
+        self._noise_free_gate_names: set[str] = set()
         self._version = 0
 
     # ------------------------------------------------------------------
@@ -130,9 +130,35 @@ class NoiseModel:
         return self
 
     def add_noise_free_gate(self, gate_name: str) -> "NoiseModel":
-        self.noise_free_gate_names.add(gate_name.lower())
+        self._noise_free_gate_names.add(gate_name.lower())
         self._version += 1
         return self
+
+    def add_noise_free_qubits(self, qubits: Iterable[int] | int) -> "NoiseModel":
+        """Mark ``qubits`` as error free (no gate noise, perfect readout)."""
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        self._noise_free_qubits.update(int(q) for q in qubits)
+        self._version += 1
+        return self
+
+    @property
+    def noise_free_qubits(self) -> frozenset[int]:
+        """Qubits whose gates and readout are error free (read-only view).
+
+        Mutate through :meth:`add_noise_free_qubits` so the model's
+        :attr:`version` is bumped and engine-side memos are invalidated.
+        """
+        return frozenset(self._noise_free_qubits)
+
+    @property
+    def noise_free_gate_names(self) -> frozenset[str]:
+        """Gate names that receive no noise (read-only view).
+
+        Mutate through :meth:`add_noise_free_gate` so the model's
+        :attr:`version` is bumped and engine-side memos are invalidated.
+        """
+        return frozenset(self._noise_free_gate_names)
 
     @property
     def version(self) -> int:
@@ -161,7 +187,7 @@ class NoiseModel:
         """Copy of the model where gates touching ``qubits`` and their readout
         are error free.  Used to build the paper's "ideal PCS" baseline."""
         model = self.copy()
-        model.noise_free_qubits.update(int(q) for q in qubits)
+        model.add_noise_free_qubits(qubits)
         return model
 
     def with_readout_scaled(self, factor: float) -> "NoiseModel":
@@ -210,7 +236,7 @@ class NoiseModel:
         model._default_2q = list(self._default_2q)
         model._gate_overrides = {k: list(v) for k, v in self._gate_overrides.items()}
         model._default_readout = self._default_readout
-        model.noise_free_gate_names = set(self.noise_free_gate_names)
+        model._noise_free_gate_names = set(self._noise_free_gate_names)
         for qubit, channels in self._qubit_1q.items():
             if qubit in mapping:
                 model._qubit_1q[mapping[qubit]] = list(channels)
@@ -221,8 +247,8 @@ class NoiseModel:
         for qubit, error in self._readout.items():
             if qubit in mapping:
                 model._readout[mapping[qubit]] = error
-        model.noise_free_qubits = {
-            mapping[q] for q in self.noise_free_qubits if q in mapping
+        model._noise_free_qubits = {
+            mapping[q] for q in self._noise_free_qubits if q in mapping
         }
         return model
 
@@ -261,8 +287,8 @@ class NoiseModel:
         for qubit in sorted(self._readout):
             error = self._readout[qubit]
             digest.update(f"r{qubit}:{error.prob_1_given_0}:{error.prob_0_given_1}".encode())
-        digest.update(f"nfq{sorted(self.noise_free_qubits)}".encode())
-        digest.update(f"nfg{sorted(self.noise_free_gate_names)}".encode())
+        digest.update(f"nfq{sorted(self._noise_free_qubits)}".encode())
+        digest.update(f"nfg{sorted(self._noise_free_gate_names)}".encode())
         return digest.hexdigest()
 
     # ------------------------------------------------------------------
@@ -296,9 +322,9 @@ class NoiseModel:
         if not instruction.is_gate:
             return []
         name = instruction.name.lower()
-        if name in self.noise_free_gate_names:
+        if name in self._noise_free_gate_names:
             return []
-        if self.noise_free_qubits and set(instruction.qubits) & self.noise_free_qubits:
+        if self._noise_free_qubits and set(instruction.qubits) & self._noise_free_qubits:
             return []
 
         channels: list[KrausChannel] = []
@@ -336,7 +362,7 @@ class NoiseModel:
         return result
 
     def readout_error(self, qubit: int) -> ReadoutError | None:
-        if qubit in self.noise_free_qubits:
+        if qubit in self._noise_free_qubits:
             return None
         error = self._readout.get(int(qubit), self._default_readout)
         if error is None or error.is_trivial():

@@ -160,17 +160,8 @@ def noisy_distribution_density_matrix(
     """
     noise_model = noise_model or NoiseModel.ideal()
     state = simulate_density_matrix(circuit, noise_model, initial_state)
-    clbit_to_qubit: dict[int, int] = {}
-    for inst in circuit.data:
-        if inst.is_measurement:
-            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if clbit_to_qubit:
-        clbits = sorted(clbit_to_qubit)
-        qubits = [clbit_to_qubit[c] for c in clbits]
-    else:
-        qubits = list(range(circuit.num_qubits))
+    qubits = circuit.measurement_layout()
     distribution = state.probability_distribution(qubits)
-    flip = {}
     for bit, qubit in enumerate(qubits):
         error = noise_model.readout_error(qubit)
         if error is not None:

@@ -43,11 +43,12 @@ import dataclasses
 import hashlib
 import weakref
 from collections import OrderedDict
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
 from ..circuits import QuantumCircuit
+from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
 from ..noise import NoiseModel
 from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
@@ -60,6 +61,11 @@ __all__ = [
     "circuit_fingerprint",
     "get_default_engine",
 ]
+
+# Shot budget used when the trajectory method (which always samples) is
+# invoked without an explicit ``shots``; mirrors simulate_trajectories'
+# signature default.
+DEFAULT_TRAJECTORY_SHOTS = 4096
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -116,10 +122,20 @@ class EngineStats:
 
 @dataclasses.dataclass
 class _Prepared:
-    """A request after compaction and key derivation."""
+    """A request after compaction and key derivation.
+
+    ``active`` and ``num_qubits`` record the original wire embedding: cached
+    results live in *compact* space (they never mention original wire
+    indices), and :meth:`ExecutionEngine._deliver` translates them into each
+    requester's embedding.  Baking the embedding into the cached object would
+    let a cache hit from a different embedding of the same compact structure
+    hand back another requester's wire labels.
+    """
 
     compact: QuantumCircuit
     active: list[int]
+    num_qubits: int
+    has_measurements: bool
     noise: NoiseModel
     method: str
     seed: int | None
@@ -223,6 +239,21 @@ class ExecutionEngine:
         derives its own seed from the base seed and its fingerprint) while
         keeping identical circuits bit-identical.
 
+        Results are internally cached in compact (idle-wires-dropped) space
+        and translated into each requester's wire embedding on delivery, so
+        two embeddings of the same structure (H on wire 2 of 3 vs. H on
+        wire 0 of 3) share cache lines yet each see their own
+        ``measured_qubits``.  Each returned result owns its payloads —
+        mutating a returned distribution or counts object cannot corrupt
+        later cache hits.
+
+        One documented divergence from sequential ``execute``: a circuit
+        with **no measurements** yields a full-width distribution in which
+        idle wires read a deterministic 0 — they are never simulated, so
+        (unlike an uncompacted sequential noisy run, which treats every
+        wire of an unmeasured circuit as read out) they receive no readout
+        confusion.
+
         Returns one :class:`~repro.simulators.result.ExecutionResult` per
         input circuit, in input order.
         """
@@ -239,7 +270,9 @@ class ExecutionEngine:
             self.stats.requests += 1
             if request.key is None:
                 self.stats.uncacheable += 1
-                results[index] = self._run(request, shots, max_trajectories)
+                results[index] = self._deliver(
+                    self._run(request, shots, max_trajectories), request
+                )
                 continue
             if request.key in batch_first:
                 self.stats.batch_dedup_hits += 1
@@ -254,11 +287,15 @@ class ExecutionEngine:
             result = self._run(request, shots, max_trajectories)
             self._cache_put(request.key, result)
             batch_first[request.key] = result
-            # The requester gets a shell copy too — handing out the
+            # The requester gets its own delivery too — handing out the
             # cache-backing object would let caller mutations poison
             # every later hit on this key.
             results[index] = self._deliver(result, request)
-        return [r for r in results if r is not None]
+        # One result per input, in input order — callers zip against their
+        # inputs, so a silently shrunk list would misattribute results.
+        if any(r is None for r in results):
+            raise RuntimeError("internal error: a request was dispatched without a result")
+        return results  # type: ignore[return-value]
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -282,6 +319,8 @@ class ExecutionEngine:
     ) -> _Prepared:
         if method not in ("auto", "statevector", "density_matrix", "trajectory"):
             raise ValueError(f"unknown method {method!r}")
+        if shots is not None and shots <= 0:
+            raise ValueError("shots must be positive")
         if self.compact:
             compact, active = circuit.compact_qubits()
             if len(active) < circuit.num_qubits:
@@ -306,17 +345,25 @@ class ExecutionEngine:
         cacheable = not stochastic or derived_seed is not None
         key = None
         if cacheable:
+            # The trajectory path always samples; key its implicit default
+            # shot budget explicitly so shots=None and shots=4096 (identical
+            # work and identical results) share one cache line.
+            key_shots = shots
+            if resolved == "trajectory" and shots is None:
+                key_shots = DEFAULT_TRAJECTORY_SHOTS
             key = (
                 fingerprint,
                 self._noise_fingerprint(noise),
                 resolved,
-                shots,
+                key_shots,
                 derived_seed,
                 max_trajectories if resolved == "trajectory" else None,
             )
         return _Prepared(
             compact=compact,
             active=active,
+            num_qubits=circuit.num_qubits,
+            has_measurements=compact.has_measurements,
             noise=noise,
             method=resolved,
             seed=derived_seed,
@@ -362,12 +409,19 @@ class ExecutionEngine:
     def _run(
         self, request: _Prepared, shots: int | None, max_trajectories: int
     ) -> ExecutionResult:
+        """Execute one prepared request and return a compact-space result.
+
+        The returned ``measured_qubits`` index the *compact* circuit's wires;
+        they are remapped to the requester's embedding in :meth:`_deliver`,
+        never here — the result may be cached and served to requesters with
+        different embeddings of the same compact structure.
+        """
         self.stats.executed += 1
         if request.method == "trajectory":
             counts, measured_qubits = simulate_trajectories_batched(
                 request.compact,
                 request.noise,
-                shots=shots or 4096,
+                shots=shots or DEFAULT_TRAJECTORY_SHOTS,
                 seed=request.seed,
                 max_trajectories=max_trajectories,
             )
@@ -401,7 +455,6 @@ class ExecutionEngine:
                 density_matrix_threshold=self.density_matrix_threshold,
                 max_trajectories=max_trajectories,
             )
-        result.measured_qubits = [request.active[q] for q in result.measured_qubits]
         return result
 
     def _density_matrix_distribution(self, request: _Prepared):
@@ -439,13 +492,40 @@ class ExecutionEngine:
         return distribution, list(measured_qubits)
 
     def _deliver(self, source: ExecutionResult, request: _Prepared) -> ExecutionResult:
-        # Hand each requester its own ExecutionResult shell so callers can
-        # attach metadata without corrupting the cache; the heavy payloads
-        # (distribution, counts) are shared read-only.
+        """Translate a compact-space result into the requester's embedding.
+
+        Every requester gets an independent ``ExecutionResult`` whose
+        payloads it owns: ``measured_qubits`` are remapped through *this*
+        request's active-wire list (two embeddings of one compact structure
+        share a cache line but must each see their own labels), and the
+        distribution/counts are copied so caller mutations cannot poison
+        later hits on the cached object.
+        """
+        if not request.has_measurements and len(request.active) < request.num_qubits:
+            # No measurements: sequential execute() reports all wires, so
+            # scatter the compact bits back to their original positions
+            # (idle wires were never touched and read a deterministic 0).
+            distribution = ProbabilityDistribution(
+                scatter_outcomes(source.distribution.items(), request.active),
+                request.num_qubits,
+            )
+            counts = (
+                Counts(
+                    scatter_outcomes(source.counts.items(), request.active),
+                    request.num_qubits,
+                )
+                if source.counts is not None
+                else None
+            )
+            measured_qubits = list(range(request.num_qubits))
+        else:
+            distribution = source.distribution.copy()
+            counts = source.counts.copy() if source.counts is not None else None
+            measured_qubits = [request.active[q] for q in source.measured_qubits]
         return ExecutionResult(
-            distribution=source.distribution,
-            measured_qubits=list(source.measured_qubits),
-            counts=source.counts,
+            distribution=distribution,
+            measured_qubits=measured_qubits,
+            counts=counts,
             shots=source.shots,
             method=source.method,
             metadata=dict(source.metadata),

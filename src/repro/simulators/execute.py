@@ -77,8 +77,7 @@ def execute(
         if not noise_model.is_ideal:
             raise ValueError("the statevector method cannot apply noise")
         distribution = ideal_distribution(circuit)
-        measured = circuit.measured_qubits or list(range(circuit.num_qubits))
-        measured_qubits = _clbit_ordered_qubits(circuit)
+        measured_qubits = circuit.measurement_layout()
         result = ExecutionResult(
             distribution=distribution,
             measured_qubits=measured_qubits,
@@ -119,13 +118,3 @@ def execute(
         result.shots = shots
         result.distribution = counts.to_distribution()
     return result
-
-
-def _clbit_ordered_qubits(circuit: QuantumCircuit) -> list[int]:
-    clbit_to_qubit: dict[int, int] = {}
-    for inst in circuit.data:
-        if inst.is_measurement:
-            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if not clbit_to_qubit:
-        return list(range(circuit.num_qubits))
-    return [clbit_to_qubit[c] for c in sorted(clbit_to_qubit)]

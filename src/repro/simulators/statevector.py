@@ -7,7 +7,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..circuits import QuantumCircuit, pauli_matrix
-from ..distributions import ProbabilityDistribution
+from ..distributions import ProbabilityDistribution, scatter_outcomes
 from .apply import (
     apply_matrix_to_statevector,
     reduced_density_matrix_from_statevector,
@@ -133,24 +133,13 @@ def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
     """
     compact, active = circuit.compact_qubits()
     state = simulate_statevector(compact)
-    clbit_to_qubit: dict[int, int] = {}
-    for inst in compact.data:
-        if inst.is_measurement:
-            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if clbit_to_qubit:
-        clbits = sorted(clbit_to_qubit)
-        qubits = [clbit_to_qubit[c] for c in clbits]
-        return state.probability_distribution(qubits)
+    if compact.has_measurements:
+        return state.probability_distribution(compact.measurement_layout())
     compact_distribution = state.probability_distribution()
     if compact.num_qubits == circuit.num_qubits:
         return compact_distribution
     # Scatter each compact outcome's bits back to their original wire
     # positions; the dropped wires were never touched so they read 0.
-    expanded: dict[int, float] = {}
-    for outcome, probability in compact_distribution.items():
-        full = 0
-        for bit, original in enumerate(active):
-            if (outcome >> bit) & 1:
-                full |= 1 << original
-        expanded[full] = expanded.get(full, 0.0) + probability
-    return ProbabilityDistribution(expanded, circuit.num_qubits)
+    return ProbabilityDistribution(
+        scatter_outcomes(compact_distribution.items(), active), circuit.num_qubits
+    )

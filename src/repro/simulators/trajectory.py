@@ -42,7 +42,7 @@ def simulate_trajectories(
     """
     noise_model = noise_model or NoiseModel.ideal()
     rng = np.random.default_rng(seed)
-    measured_qubits = _measurement_layout(circuit)
+    measured_qubits = circuit.measurement_layout()
     num_trajectories, shots_per_trajectory = _trajectory_plan(
         shots, noise_model, max_trajectories
     )
@@ -96,7 +96,7 @@ def simulate_trajectories_batched(
     """
     noise_model = noise_model or NoiseModel.ideal()
     rng = np.random.default_rng(seed)
-    measured_qubits = _measurement_layout(circuit)
+    measured_qubits = circuit.measurement_layout()
     num_trajectories, shots_per_trajectory = _trajectory_plan(
         shots, noise_model, max_trajectories
     )
@@ -223,18 +223,6 @@ def _apply_readout_flips_batched(
     flips = rng.random(bits.shape) < flip_probabilities
     flipped = bits ^ flips
     return (flipped << np.arange(num_bits)).sum(axis=1)
-
-
-def _measurement_layout(circuit: QuantumCircuit) -> list[int]:
-    """Measured qubits in clbit order (bit ``i`` of an outcome is qubit
-    ``layout[i]``); every qubit when the circuit has no measurements."""
-    clbit_to_qubit: dict[int, int] = {}
-    for inst in circuit.data:
-        if inst.is_measurement:
-            clbit_to_qubit[inst.clbits[0]] = inst.qubits[0]
-    if clbit_to_qubit:
-        return [clbit_to_qubit[c] for c in sorted(clbit_to_qubit)]
-    return list(range(circuit.num_qubits))
 
 
 def _trajectory_plan(

@@ -14,8 +14,26 @@ from repro.distributions import (
     hellinger_distance,
     hellinger_fidelity,
     iterative_bayesian_update,
+    scatter_outcomes,
     total_variation_distance,
 )
+
+
+class TestScatterOutcomes:
+    def test_bits_move_to_positions(self):
+        assert scatter_outcomes([(0b01, 0.25), (0b10, 0.75)], [2, 0]) == {
+            0b100: 0.25,
+            0b001: 0.75,
+        }
+
+    def test_integer_weights_stay_integers(self):
+        expanded = scatter_outcomes([(1, 3), (0, 7)], [1])
+        assert expanded == {2: 3, 0: 7}
+        assert all(isinstance(v, int) for v in expanded.values())
+
+    def test_outcome_wider_than_positions_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            scatter_outcomes([(0b101, 0.5)], [4, 6])
 
 
 class TestProbabilityDistribution:
@@ -101,6 +119,22 @@ class TestProbabilityDistribution:
         a = ProbabilityDistribution({0: 0.5, 1: 0.5}, 1)
         b = ProbabilityDistribution([0.5, 0.5], 1)
         assert a == b
+
+
+class TestCopies:
+    def test_distribution_copy_is_independent(self):
+        dist = ProbabilityDistribution({0: 0.5, 1: 0.5}, num_bits=1)
+        clone = dist.copy()
+        clone._probs[0] = 0.9
+        assert dist[0] == pytest.approx(0.5)
+        assert clone.num_bits == 1
+
+    def test_counts_copy_is_independent(self):
+        counts = Counts({0: 10, 1: 20}, num_bits=1)
+        clone = counts.copy()
+        clone._counts.clear()
+        assert counts.shots == 30
+        assert clone.num_bits == 1
 
 
 class TestCounts:

@@ -170,6 +170,65 @@ class TestBatchDeduplication:
         assert hit.metadata == {}
         assert hit.measured_qubits == sorted(hit.measured_qubits)
 
+    def test_cache_hit_across_embeddings_keeps_own_wire_labels(self):
+        # Same compact structure (H + measure on one wire of three) embedded
+        # on different wires shares a cache line, but each requester must get
+        # measured_qubits for its own embedding — a hit used to replay the
+        # first requester's labels.
+        def embedded(wire):
+            qc = QuantumCircuit(3, 1)
+            qc.h(wire)
+            qc.measure(wire, 0)
+            return qc
+
+        model = noisy_model()
+        engine = ExecutionEngine()
+        on_wire_2 = engine.execute(embedded(2), model)
+        on_wire_0 = engine.execute(embedded(0), model)
+        assert engine.stats.cache_hits == 1  # embeddings really collide
+        assert on_wire_2.measured_qubits == [2]
+        assert on_wire_0.measured_qubits == [0]
+        assert on_wire_0.bit_for_qubit(0) == 0
+
+    def test_cache_hit_across_embeddings_with_seeded_shots(self):
+        def embedded(wire):
+            qc = QuantumCircuit(3, 1)
+            qc.h(wire)
+            qc.measure(wire, 0)
+            return qc
+
+        model = noisy_model()
+        engine = ExecutionEngine()
+        on_wire_2 = engine.execute(embedded(2), model, shots=300, seed=8)
+        on_wire_0 = engine.execute(embedded(0), model, shots=300, seed=8)
+        assert engine.stats.cache_hits == 1
+        assert on_wire_2.measured_qubits == [2]
+        assert on_wire_0.measured_qubits == [0]
+        assert on_wire_0.counts.to_dict() == on_wire_2.counts.to_dict()
+
+    def test_unmeasured_circuit_matches_sequential_width(self):
+        # No measurements: sequential execute() reports a full-width
+        # distribution over all qubits; the engine must expand its compacted
+        # result back (idle wires read 0) instead of returning 1 bit.
+        qc = QuantumCircuit(3)
+        qc.h(1)
+        sequential = execute(qc)
+        engine_result = ExecutionEngine().execute(qc)
+        assert engine_result.distribution.num_bits == 3
+        assert engine_result.measured_qubits == [0, 1, 2]
+        assert engine_result.distribution == sequential.distribution
+
+    def test_payload_mutation_cannot_poison_cache(self):
+        engine = ExecutionEngine()
+        model = noisy_model()
+        first = engine.execute(ghz(), model, shots=200, seed=4)
+        first.counts._counts.clear()
+        first.distribution._probs.clear()
+        hit = engine.execute(ghz(), model, shots=200, seed=4)
+        assert engine.stats.cache_hits == 1
+        assert hit.counts.shots == 200
+        assert hit.distribution.total == pytest.approx(1.0)
+
     def test_in_place_noise_mutation_invalidates_memos(self):
         from repro.noise.readout import ReadoutError
 
@@ -266,6 +325,26 @@ class TestVectorizedTrajectories:
         b = ExecutionEngine().execute(circuit, model, shots=300, seed=5)
         assert a.method == "trajectory"
         assert a.counts.to_dict() == b.counts.to_dict()
+
+    def test_default_shots_share_cache_line_with_explicit_4096(self):
+        # The trajectory path always samples; shots=None means the default
+        # budget of 4096, so the two spellings are identical work and must
+        # hit the same cache entry.
+        circuit = self.wide_noisy_circuit()
+        model = noisy_model()
+        engine = ExecutionEngine()
+        implicit = engine.execute(circuit, model, seed=6)
+        explicit = engine.execute(circuit, model, shots=4096, seed=6)
+        assert implicit.method == "trajectory"
+        assert engine.stats.cache_hits == 1
+        assert implicit.counts.to_dict() == explicit.counts.to_dict()
+
+    def test_non_positive_shots_rejected(self):
+        engine = ExecutionEngine()
+        with pytest.raises(ValueError, match="shots"):
+            engine.execute(ghz(), noisy_model(), shots=0)
+        with pytest.raises(ValueError, match="shots"):
+            engine.execute(self.wide_noisy_circuit(), noisy_model(), shots=-5)
 
     def test_matches_loop_implementation_statistically(self):
         # Bell pair with depolarizing noise: compare the batched sampler with

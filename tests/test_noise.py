@@ -223,6 +223,24 @@ class TestNoiseModel:
         # original untouched
         assert model.channels_for(Instruction(standard_gate("cx"), (3, 1))) != []
 
+    def test_add_noise_free_qubits_bumps_version(self):
+        model = NoiseModel.depolarizing(p1=0.01, readout=0.1)
+        version = model.version
+        model.add_noise_free_qubits(2)
+        assert model.version > version
+        assert model.readout_error(2) is None
+        version = model.version
+        model.add_noise_free_qubits([0, 1])
+        assert model.version > version
+        assert model.noise_free_qubits == frozenset({0, 1, 2})
+
+    def test_noise_free_sets_are_read_only_views(self):
+        model = NoiseModel.depolarizing(p1=0.01)
+        with pytest.raises(AttributeError):
+            model.noise_free_qubits.add(0)
+        with pytest.raises(AttributeError):
+            model.noise_free_gate_names.add("h")
+
     def test_without_gate_and_readout_errors(self):
         model = NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.1)
         assert model.without_gate_errors().has_gate_errors is False
