@@ -22,7 +22,46 @@ from repro.mitigation import PauliCheck, run_jigsaw, run_pcs, run_sqem
 from repro.noise import DeviceModel, NoiseModel
 from repro.simulators import ExecutionEngine, get_default_engine, ideal_distribution
 
-__all__ = ["MethodOutcome", "run_original", "run_all_methods", "print_table", "cz_block_region"]
+__all__ = [
+    "MethodOutcome",
+    "run_original",
+    "run_all_methods",
+    "print_table",
+    "cz_block_region",
+    "record_bench",
+]
+
+
+def record_bench(name: str, median_seconds: float, speedup: float | None = None) -> None:
+    """Record one benchmark measurement in the ``BENCH_engine.json`` artifact.
+
+    The file maps benchmark name -> ``{median_seconds, speedup}`` and is the
+    machine-readable performance trajectory of the engine hot path: CI
+    uploads it on every run, so regressions show up as a diff rather than a
+    vibe.  Set ``BENCH_ENGINE_JSON`` to redirect the output; by default the
+    file lives at the repository root next to ``benchmarks/``.
+    """
+    import json
+    import os
+
+    path = os.environ.get(
+        "BENCH_ENGINE_JSON",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_engine.json"),
+    )
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):  # pragma: no cover - corrupt artifact
+            data = {}
+    entry: dict = {"median_seconds": round(float(median_seconds), 6)}
+    if speedup is not None:
+        entry["speedup"] = round(float(speedup), 2)
+    data[name] = entry
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @dataclasses.dataclass

@@ -178,6 +178,59 @@ class KrausChannel:
         # mixture (1-p) rho + p I/d tr(rho) has non-identity weights p/d^2.
         return float(first * dim * dim)
 
+    def unitary_mixture(
+        self,
+    ) -> tuple[np.ndarray, list[np.ndarray], list[bool]] | None:
+        """Decompose the channel into ``{p_k, U_k}`` when every Kraus operator
+        is a scaled unitary (``K_k = sqrt(p_k) U_k``); return ``None``
+        otherwise.
+
+        Returns ``(probabilities, unitaries, identity_flags)`` where the
+        identity flags mark operators proportional to the identity, whose
+        application is a global phase and can be skipped.  For such channels
+        the Born probability ``<psi|K^dagger K|psi> = p_k`` is
+        state-independent, which is what lets the trajectory samplers
+        pre-draw operator indices for a whole ensemble at once.
+
+        Like :meth:`uniform_depolarizing_probability`, the answer is cached
+        on the instance — operators are fixed at construction, channels live
+        as long as their noise model, and the Gram-matrix decomposition is
+        queried once per error site per simulation.
+        """
+        cached = getattr(self, "_unitary_mixture", "unset")
+        if cached != "unset":
+            return cached
+        self._unitary_mixture = self._decompose_unitary_mixture()
+        return self._unitary_mixture
+
+    def _decompose_unitary_mixture(
+        self, atol: float = 1e-10
+    ) -> tuple[np.ndarray, list[np.ndarray], list[bool]] | None:
+        probabilities = []
+        unitaries = []
+        identity_flags = []
+        for op in self.operators:
+            gram = op.conj().T @ op
+            p = float(np.real(gram[0, 0]))
+            if p <= atol:
+                continue
+            if not np.allclose(gram, p * np.eye(gram.shape[0]), atol=atol):
+                return None
+            unitary = op / np.sqrt(p)
+            probabilities.append(p)
+            unitaries.append(unitary)
+            identity_flags.append(
+                bool(
+                    np.allclose(
+                        unitary, unitary[0, 0] * np.eye(unitary.shape[0]), atol=atol
+                    )
+                )
+            )
+        total = sum(probabilities)
+        if not probabilities or abs(total - 1.0) > 1e-8:
+            return None
+        return np.array(probabilities) / total, unitaries, identity_flags
+
     def average_gate_fidelity(self) -> float:
         """Average gate fidelity of the channel relative to the identity.
 

@@ -12,7 +12,14 @@ from .engine import (
     circuit_fingerprint,
     get_default_engine,
 )
+from .ensemble import simulate_trajectories_ensemble
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .fusion import (
+    DEFAULT_FUSION_MAX_QUBITS,
+    FusedOperation,
+    FusedProgram,
+    fuse_circuit,
+)
 from .result import ExecutionResult
 from .statevector import Statevector, ideal_distribution, simulate_statevector
 from .trajectory import simulate_trajectories, simulate_trajectories_batched
@@ -23,14 +30,19 @@ __all__ = [
     "ExecutionResult",
     "ExecutionEngine",
     "EngineStats",
+    "FusedOperation",
+    "FusedProgram",
     "circuit_fingerprint",
+    "fuse_circuit",
     "get_default_engine",
     "simulate_statevector",
     "simulate_density_matrix",
     "simulate_trajectories",
     "simulate_trajectories_batched",
+    "simulate_trajectories_ensemble",
     "noisy_distribution_density_matrix",
     "ideal_distribution",
     "execute",
     "DEFAULT_DENSITY_MATRIX_THRESHOLD",
+    "DEFAULT_FUSION_MAX_QUBITS",
 ]

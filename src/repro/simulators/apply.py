@@ -17,10 +17,12 @@ import numpy as np
 
 __all__ = [
     "apply_matrix_to_statevector",
+    "apply_matrix_to_statevector_batch",
     "apply_matrix_to_density_matrix",
     "apply_kraus_to_density_matrix",
     "apply_uniform_depolarizing_to_density_matrix",
     "statevector_probabilities",
+    "statevector_probabilities_batch",
     "density_matrix_probabilities",
     "reduced_density_matrix",
     "reduced_density_matrix_from_statevector",
@@ -42,6 +44,27 @@ def apply_matrix_to_statevector(
     moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
     result = np.moveaxis(moved, list(range(k)), axes)
     return np.ascontiguousarray(result.reshape(2**num_qubits))
+
+
+def apply_matrix_to_statevector_batch(
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply ``matrix`` (acting on ``qubits``) to every row of a ``(T, 2**n)``
+    batch of statevectors with a single contraction.
+
+    The trajectory axis (axis 0) is never contracted, so the gate is
+    dispatched once for the whole ensemble rather than once per trajectory —
+    the core kernel of :mod:`repro.simulators.ensemble`.
+    """
+    k = len(qubits)
+    batch = states.shape[0]
+    # Batch axis first, then one axis per qubit; qubit axes shift by one.
+    axes = [a + 1 for a in _state_axes(qubits, num_qubits)]
+    tensor = states.reshape([batch] + [2] * num_qubits)
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    result = np.moveaxis(moved, list(range(k)), axes)
+    return np.ascontiguousarray(result.reshape(batch, 2**num_qubits))
 
 
 def apply_matrix_to_density_matrix(
@@ -122,6 +145,28 @@ def statevector_probabilities(
     if qubits is None:
         return probs
     return _marginalise(probs, qubits, num_qubits)
+
+
+def statevector_probabilities_batch(
+    states: np.ndarray, qubits: Sequence[int] | None, num_qubits: int
+) -> np.ndarray:
+    """Per-row measurement probabilities of a ``(T, 2**n)`` statevector batch.
+
+    Returns a ``(T, 2**m)`` block whose row ``t`` is
+    :func:`statevector_probabilities` of ``states[t]``.
+    """
+    probs = np.abs(states) ** 2
+    if qubits is None:
+        return probs
+    qubits = list(qubits)
+    batch = probs.shape[0]
+    tensor = probs.reshape([batch] + [2] * num_qubits)
+    axes_keep = [a + 1 for a in _state_axes(qubits, num_qubits)]
+    axes_other = [a for a in range(1, num_qubits + 1) if a not in axes_keep]
+    permuted = np.transpose(tensor, [0] + axes_keep + axes_other)
+    return np.ascontiguousarray(
+        permuted.reshape(batch, 2 ** len(qubits), -1).sum(axis=2)
+    )
 
 
 def density_matrix_probabilities(

@@ -21,6 +21,7 @@ from .apply import (
     density_matrix_probabilities,
     reduced_density_matrix,
 )
+from .fusion import DEFAULT_FUSION_MAX_QUBITS, fuse_circuit
 from .statevector import Statevector
 
 __all__ = ["DensityMatrix", "simulate_density_matrix", "noisy_distribution_density_matrix"]
@@ -118,22 +119,27 @@ def simulate_density_matrix(
     circuit: QuantumCircuit,
     noise_model: NoiseModel | None = None,
     initial_state: DensityMatrix | None = None,
+    fusion: bool = False,
+    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
 ) -> DensityMatrix:
-    """Run the circuit, applying the noise model's channels after each gate."""
+    """Run the circuit, applying the noise model's channels after each gate.
+
+    With ``fusion=True`` runs of adjacent gates are merged into single
+    matrices first (noise placement unchanged — see
+    :mod:`repro.simulators.fusion`); the result is identical up to floating
+    point, with fewer large conjugations on lightly-noised circuits.
+    """
     noise_model = noise_model or NoiseModel.ideal()
     state = initial_state or DensityMatrix.zero_state(circuit.num_qubits)
     if state.num_qubits != circuit.num_qubits:
         raise ValueError("initial state width does not match the circuit")
     rho = state.data
-    for inst in circuit.data:
-        if inst.is_barrier or inst.is_measurement:
-            continue
-        if not inst.is_gate:
-            raise ValueError(f"cannot simulate instruction {inst.name!r}")
-        rho = apply_matrix_to_density_matrix(
-            rho, inst.operation.matrix, inst.qubits, circuit.num_qubits
-        )
-        for channel, qubits in noise_model.channels_for(inst):
+    program = fuse_circuit(
+        circuit, noise_model, max_qubits=fusion_max_qubits if fusion else 0
+    )
+    for op in program.operations:
+        rho = apply_matrix_to_density_matrix(rho, op.matrix, op.qubits, circuit.num_qubits)
+        for channel, qubits in op.sites:
             depolarizing = channel.uniform_depolarizing_probability()
             if depolarizing is not None:
                 rho = apply_uniform_depolarizing_to_density_matrix(
@@ -150,6 +156,8 @@ def noisy_distribution_density_matrix(
     circuit: QuantumCircuit,
     noise_model: NoiseModel | None = None,
     initial_state: DensityMatrix | None = None,
+    fusion: bool = False,
+    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
 ) -> tuple[ProbabilityDistribution, list[int]]:
     """Exact noisy output distribution over the measured clbits.
 
@@ -159,7 +167,9 @@ def noisy_distribution_density_matrix(
     distribution.
     """
     noise_model = noise_model or NoiseModel.ideal()
-    state = simulate_density_matrix(circuit, noise_model, initial_state)
+    state = simulate_density_matrix(
+        circuit, noise_model, initial_state, fusion=fusion, fusion_max_qubits=fusion_max_qubits
+    )
     qubits = circuit.measurement_layout()
     distribution = state.probability_distribution(qubits)
     for bit, qubit in enumerate(qubits):

@@ -17,9 +17,11 @@ recurs across layers, benchmark sweeps re-run identical baselines.  The
   surviving wires), so a subset circuit embedded on a wide device simulates
   in ``2**k`` rather than ``2**n`` memory and can use the exact
   density-matrix method instead of trajectory sampling;
-* the trajectory path uses :func:`~repro.simulators.trajectory.simulate_trajectories_batched`,
-  which pre-samples Pauli-error insertions for the whole batch of
-  trajectories per circuit instead of looping shot-by-shot.
+* the trajectory path uses the ensemble backend
+  (:func:`~repro.simulators.ensemble.simulate_trajectories_ensemble`), which
+  carries every trajectory in one ``(T, 2**n)`` array, applies each fused
+  gate once to the whole batch, and samples all measurement shots in one
+  inverse-CDF pass — see ``docs/architecture.md``.
 
 See ``docs/architecture.md`` for the cache-key design, batching semantics
 and method auto-selection rules.
@@ -51,9 +53,10 @@ from ..circuits import QuantumCircuit
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
 from ..noise import NoiseModel
 from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
+from .ensemble import simulate_trajectories_ensemble
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .result import ExecutionResult
-from .trajectory import simulate_trajectories_batched
 
 __all__ = [
     "ExecutionEngine",
@@ -141,6 +144,7 @@ class _Prepared:
     seed: int | None
     key: tuple | None  # None => not cacheable
     fingerprint: str = ""
+    fusion: bool = True
 
 
 class ExecutionEngine:
@@ -158,6 +162,11 @@ class ExecutionEngine:
     compact:
         Drop idle wires (and remap the noise model accordingly) before
         simulating.  Disable only for debugging; results are identical.
+    fusion:
+        Merge runs of adjacent gates whose combined support stays within
+        ``fusion_max_qubits`` wires into single matrices before simulating
+        (:mod:`repro.simulators.fusion`).  Noise placement is unchanged.
+        Overridable per call via :meth:`execute_many`.
     """
 
     def __init__(
@@ -166,6 +175,8 @@ class ExecutionEngine:
         max_trajectories: int = 600,
         cache_size: int = 32768,
         compact: bool = True,
+        fusion: bool = True,
+        fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -173,6 +184,8 @@ class ExecutionEngine:
         self.max_trajectories = int(max_trajectories)
         self.cache_size = int(cache_size)
         self.compact = bool(compact)
+        self.fusion = bool(fusion)
+        self.fusion_max_qubits = int(fusion_max_qubits)
         self.stats = EngineStats()
         # Maps result keys -> ExecutionResult and "dm-state" keys -> the
         # (distribution, measured_qubits) pre-readout payload.
@@ -209,6 +222,7 @@ class ExecutionEngine:
         seed: int | None = None,
         method: str = "auto",
         max_trajectories: int | None = None,
+        fusion: bool | None = None,
     ) -> ExecutionResult:
         """Run one circuit through the cache (see :meth:`execute_many`)."""
         return self.execute_many(
@@ -218,6 +232,7 @@ class ExecutionEngine:
             seed=seed,
             method=method,
             max_trajectories=max_trajectories,
+            fusion=fusion,
         )[0]
 
     def execute_many(
@@ -228,11 +243,15 @@ class ExecutionEngine:
         seed: int | None = None,
         method: str = "auto",
         max_trajectories: int | None = None,
+        fusion: bool | None = None,
     ) -> list[ExecutionResult]:
         """Run a batch of circuits, deduplicating and caching shared work.
 
         All circuits share the noise model and shot budget (the common case:
         one batch of subset/check-variant circuits per mitigation step).
+        ``fusion`` overrides the engine's gate-fusion default for this call
+        (``None`` keeps it); sampled trajectory results key the fusion
+        settings into the cache because the RNG stream depends on them.
         Identical circuits are executed once; every requester receives a
         result equal to what a sequential :func:`~repro.simulators.execute.execute`
         call would produce.  ``seed`` decorrelates distinct circuits (each
@@ -259,8 +278,9 @@ class ExecutionEngine:
         """
         noise_model = noise_model or NoiseModel.ideal()
         max_trajectories = max_trajectories or self.max_trajectories
+        fusion = self.fusion if fusion is None else bool(fusion)
         prepared = [
-            self._prepare(circuit, noise_model, shots, seed, method, max_trajectories)
+            self._prepare(circuit, noise_model, shots, seed, method, max_trajectories, fusion)
             for circuit in circuits
         ]
 
@@ -316,6 +336,7 @@ class ExecutionEngine:
         seed: int | None,
         method: str,
         max_trajectories: int,
+        fusion: bool,
     ) -> _Prepared:
         if method not in ("auto", "statevector", "density_matrix", "trajectory"):
             raise ValueError(f"unknown method {method!r}")
@@ -351,6 +372,15 @@ class ExecutionEngine:
             key_shots = shots
             if resolved == "trajectory" and shots is None:
                 key_shots = DEFAULT_TRAJECTORY_SHOTS
+            # The trajectory RNG stream depends on the fused program (draws
+            # are consumed in program order), so fusion settings are part of
+            # the identity of a sampled result.  Exact methods are
+            # fusion-invariant and share cache lines across settings.
+            key_fusion = (
+                (fusion, self.fusion_max_qubits if fusion else None)
+                if resolved == "trajectory"
+                else None
+            )
             key = (
                 fingerprint,
                 self._noise_fingerprint(noise),
@@ -358,6 +388,7 @@ class ExecutionEngine:
                 key_shots,
                 derived_seed,
                 max_trajectories if resolved == "trajectory" else None,
+                key_fusion,
             )
         return _Prepared(
             compact=compact,
@@ -369,6 +400,7 @@ class ExecutionEngine:
             seed=derived_seed,
             key=key,
             fingerprint=fingerprint,
+            fusion=fusion,
         )
 
     def _noise_fingerprint(self, noise_model: NoiseModel) -> str:
@@ -418,12 +450,14 @@ class ExecutionEngine:
         """
         self.stats.executed += 1
         if request.method == "trajectory":
-            counts, measured_qubits = simulate_trajectories_batched(
+            counts, measured_qubits = simulate_trajectories_ensemble(
                 request.compact,
                 request.noise,
                 shots=shots or DEFAULT_TRAJECTORY_SHOTS,
                 seed=request.seed,
                 max_trajectories=max_trajectories,
+                fusion=request.fusion,
+                fusion_max_qubits=self.fusion_max_qubits,
             )
             result = ExecutionResult(
                 distribution=counts.to_distribution(),
@@ -454,6 +488,8 @@ class ExecutionEngine:
                 method=request.method,
                 density_matrix_threshold=self.density_matrix_threshold,
                 max_trajectories=max_trajectories,
+                fusion=request.fusion,
+                fusion_max_qubits=self.fusion_max_qubits,
             )
         return result
 
@@ -479,7 +515,10 @@ class ExecutionEngine:
         cached = self._cache_get(state_key)
         if cached is None:
             distribution, measured_qubits = noisy_distribution_density_matrix(
-                request.compact, gate_noise
+                request.compact,
+                gate_noise,
+                fusion=request.fusion,
+                fusion_max_qubits=self.fusion_max_qubits,
             )
             self._cache_put(state_key, (distribution, measured_qubits))
         else:

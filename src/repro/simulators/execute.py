@@ -5,7 +5,9 @@
 * no noise → statevector;
 * noisy and narrow (``num_qubits <= density_matrix_threshold``) → exact
   density-matrix simulation (readout errors applied as exact confusion);
-* noisy and wide → Monte-Carlo trajectories with sampled readout flips.
+* noisy and wide → Monte-Carlo trajectories with sampled readout flips,
+  via the batched ensemble backend
+  (:func:`~repro.simulators.ensemble.simulate_trajectories_ensemble`).
 
 Callers that need reproducible statistics pass ``seed``; all stochastic paths
 derive their randomness from it.
@@ -24,9 +26,10 @@ from typing import Any
 from ..circuits import QuantumCircuit
 from ..noise import NoiseModel
 from .density_matrix import noisy_distribution_density_matrix
+from .ensemble import simulate_trajectories_ensemble
+from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .result import ExecutionResult
 from .statevector import ideal_distribution
-from .trajectory import simulate_trajectories
 
 __all__ = ["execute", "DEFAULT_DENSITY_MATRIX_THRESHOLD"]
 
@@ -41,6 +44,8 @@ def execute(
     method: str = "auto",
     density_matrix_threshold: int = DEFAULT_DENSITY_MATRIX_THRESHOLD,
     max_trajectories: int = 600,
+    fusion: bool = True,
+    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
     metadata: dict[str, Any] | None = None,
 ) -> ExecutionResult:
     """Run a circuit and return its measured-output distribution.
@@ -59,6 +64,13 @@ def execute(
     method:
         ``"auto"`` (default), ``"statevector"``, ``"density_matrix"`` or
         ``"trajectory"``.
+    fusion:
+        Merge runs of adjacent gates (combined support ≤
+        ``fusion_max_qubits``) into single matrices before simulating; see
+        :mod:`repro.simulators.fusion`.  Noise placement is unchanged.
+        The trajectory RNG stream depends on this flag (fused programs
+        consume draws in different order), so seeded trajectory results are
+        reproducible per setting, not across settings.
     """
     noise_model = noise_model or NoiseModel.ideal()
     if method not in ("auto", "statevector", "density_matrix", "trajectory"):
@@ -85,7 +97,9 @@ def execute(
             metadata=metadata,
         )
     elif method == "density_matrix":
-        distribution, measured_qubits = noisy_distribution_density_matrix(circuit, noise_model)
+        distribution, measured_qubits = noisy_distribution_density_matrix(
+            circuit, noise_model, fusion=fusion, fusion_max_qubits=fusion_max_qubits
+        )
         result = ExecutionResult(
             distribution=distribution,
             measured_qubits=measured_qubits,
@@ -93,12 +107,14 @@ def execute(
             metadata=metadata,
         )
     else:
-        counts, measured_qubits = simulate_trajectories(
+        counts, measured_qubits = simulate_trajectories_ensemble(
             circuit,
             noise_model,
             shots=shots or 4096,
             seed=seed,
             max_trajectories=max_trajectories,
+            fusion=fusion,
+            fusion_max_qubits=fusion_max_qubits,
         )
         return ExecutionResult(
             distribution=counts.to_distribution(),

@@ -61,16 +61,15 @@ class Statevector:
         new_data = apply_matrix_to_statevector(self.data, matrix, qubits, self.num_qubits)
         return Statevector(new_data, self.num_qubits)
 
-    def evolve_circuit(self, circuit: QuantumCircuit) -> "Statevector":
+    def evolve_circuit(self, circuit: QuantumCircuit, fusion: bool = False) -> "Statevector":
+        from .fusion import DEFAULT_FUSION_MAX_QUBITS, fuse_circuit
+
+        program = fuse_circuit(
+            circuit, max_qubits=DEFAULT_FUSION_MAX_QUBITS if fusion else 0
+        )
         state = self.data
-        for inst in circuit.data:
-            if inst.is_barrier or inst.is_measurement:
-                continue
-            if not inst.is_gate:
-                raise ValueError(f"cannot apply non-unitary instruction {inst.name!r}")
-            state = apply_matrix_to_statevector(
-                state, inst.operation.matrix, inst.qubits, self.num_qubits
-            )
+        for op in program.operations:
+            state = apply_matrix_to_statevector(state, op.matrix, op.qubits, self.num_qubits)
         return Statevector(state, self.num_qubits)
 
     def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
@@ -112,12 +111,20 @@ class Statevector:
         return f"Statevector(num_qubits={self.num_qubits})"
 
 
-def simulate_statevector(circuit: QuantumCircuit, initial_state: Statevector | None = None) -> Statevector:
-    """Run ``circuit`` without noise and return the final statevector."""
+def simulate_statevector(
+    circuit: QuantumCircuit,
+    initial_state: Statevector | None = None,
+    fusion: bool = False,
+) -> Statevector:
+    """Run ``circuit`` without noise and return the final statevector.
+
+    ``fusion=True`` merges runs of adjacent gates into single matrices first
+    (:mod:`repro.simulators.fusion`); identical result up to floating point.
+    """
     state = initial_state or Statevector.zero_state(circuit.num_qubits)
     if state.num_qubits != circuit.num_qubits:
         raise ValueError("initial state width does not match the circuit")
-    return state.evolve_circuit(circuit)
+    return state.evolve_circuit(circuit, fusion=fusion)
 
 
 def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
@@ -132,7 +139,7 @@ def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
     Idle qubits contribute deterministic 0 bits to the unmeasured case.
     """
     compact, active = circuit.compact_qubits()
-    state = simulate_statevector(compact)
+    state = simulate_statevector(compact, fusion=True)
     if compact.has_measurements:
         return state.probability_distribution(compact.measurement_layout())
     compact_distribution = state.probability_distribution()

@@ -39,6 +39,9 @@ def simulate_trajectories(
     ``max_trajectories`` bounds the number of independent noise realisations;
     measurement shots are spread evenly across trajectories.  For ideal noise
     models a single trajectory is used.
+
+    Readout flips and counts accumulation are applied to the whole shot
+    batch (array flips + ``np.unique``), matching the batched sampler.
     """
     noise_model = noise_model or NoiseModel.ideal()
     rng = np.random.default_rng(seed)
@@ -47,26 +50,16 @@ def simulate_trajectories(
         shots, noise_model, max_trajectories
     )
 
-    readout = noise_model.readout_errors_for(measured_qubits)
-    flip_given_0 = np.array(
-        [readout[q].prob_1_given_0 if q in readout else 0.0 for q in measured_qubits]
-    )
-    flip_given_1 = np.array(
-        [readout[q].prob_0_given_1 if q in readout else 0.0 for q in measured_qubits]
-    )
-
-    counts: dict[int, int] = {}
     num_qubits = circuit.num_qubits
+    all_outcomes: list[np.ndarray] = []
     for trajectory_shots in shots_per_trajectory:
         state = _run_single_trajectory(circuit, noise_model, rng)
         probs = statevector_probabilities(state, measured_qubits, num_qubits)
         probs = np.clip(probs, 0.0, None)
         probs = probs / probs.sum()
-        outcomes = rng.choice(probs.size, size=trajectory_shots, p=probs)
-        for outcome in outcomes:
-            measured = _apply_readout_flips(int(outcome), flip_given_0, flip_given_1, rng)
-            counts[measured] = counts.get(measured, 0) + 1
-    return Counts(counts, len(measured_qubits)), measured_qubits
+        if trajectory_shots:
+            all_outcomes.append(rng.choice(probs.size, size=trajectory_shots, p=probs))
+    return _counts_from_outcomes(all_outcomes, noise_model, measured_qubits, rng), measured_qubits
 
 
 def simulate_trajectories_batched(
@@ -121,7 +114,7 @@ def simulate_trajectories_batched(
         for channel, qubits in noise_model.channels_for(inst):
             if channel.is_identity():
                 continue
-            mixture = _as_unitary_mixture(channel.operators)
+            mixture = channel.unitary_mixture()
             if mixture is not None:
                 probabilities, unitaries, identity_flags = mixture
                 indices = rng.choice(
@@ -163,42 +156,21 @@ def simulate_trajectories_batched(
         if trajectory_shots:
             all_outcomes.append(rng.choice(probs.size, size=trajectory_shots, p=probs))
 
+    return _counts_from_outcomes(all_outcomes, noise_model, measured_qubits, rng), measured_qubits
+
+
+def _counts_from_outcomes(
+    all_outcomes: list[np.ndarray],
+    noise_model: NoiseModel,
+    measured_qubits: list[int],
+    rng: np.random.Generator,
+) -> Counts:
+    """Shared sampler trailer: batch readout flips, then ``np.unique`` counts."""
     outcomes = np.concatenate(all_outcomes) if all_outcomes else np.zeros(0, dtype=int)
     measured = _apply_readout_flips_batched(outcomes, noise_model, measured_qubits, rng)
     values, frequencies = np.unique(measured, return_counts=True)
     counts = {int(v): int(f) for v, f in zip(values, frequencies)}
-    return Counts(counts, len(measured_qubits)), measured_qubits
-
-
-def _as_unitary_mixture(
-    operators: list[np.ndarray], atol: float = 1e-10
-) -> tuple[np.ndarray, list[np.ndarray], list[bool]] | None:
-    """Decompose a channel into ``{p_k, U_k}`` when every Kraus operator is a
-    scaled unitary (``K_k = sqrt(p_k) U_k``); return ``None`` otherwise.
-
-    The returned identity flags mark operators proportional to the identity,
-    whose application can be skipped entirely (global phase).
-    """
-    probabilities = []
-    unitaries = []
-    identity_flags = []
-    for op in operators:
-        gram = op.conj().T @ op
-        p = float(np.real(gram[0, 0]))
-        if p <= atol:
-            continue
-        if not np.allclose(gram, p * np.eye(gram.shape[0]), atol=atol):
-            return None
-        unitary = op / np.sqrt(p)
-        probabilities.append(p)
-        unitaries.append(unitary)
-        identity_flags.append(
-            bool(np.allclose(unitary, unitary[0, 0] * np.eye(unitary.shape[0]), atol=atol))
-        )
-    total = sum(probabilities)
-    if not probabilities or abs(total - 1.0) > 1e-8:
-        return None
-    return np.array(probabilities) / total, unitaries, identity_flags
+    return Counts(counts, len(measured_qubits))
 
 
 def _apply_readout_flips_batched(
@@ -285,15 +257,3 @@ def _apply_channel_stochastically(
     if norm <= 1e-15:  # pragma: no cover - selected operator annihilated the state
         return state
     return new_state / norm
-
-
-def _apply_readout_flips(
-    outcome: int, flip_given_0: np.ndarray, flip_given_1: np.ndarray, rng: np.random.Generator
-) -> int:
-    measured = outcome
-    for bit in range(flip_given_0.size):
-        actual = (outcome >> bit) & 1
-        flip_prob = flip_given_1[bit] if actual else flip_given_0[bit]
-        if flip_prob > 0.0 and rng.random() < flip_prob:
-            measured ^= 1 << bit
-    return measured

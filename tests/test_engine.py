@@ -250,11 +250,11 @@ class TestCompaction:
         wide.measure(5, 1)
         engine = ExecutionEngine()
         model = noisy_model()
-        first = engine._prepare(wide, model, None, 1, "auto", 600)
-        second = engine._prepare(wide, model, None, 1, "auto", 600)
+        first = engine._prepare(wide, model, None, 1, "auto", 600, True)
+        second = engine._prepare(wide, model, None, 1, "auto", 600, True)
         assert first.noise is second.noise  # one remap + one fingerprint hash
         model.set_default_1q_error(model._default_1q[0])
-        third = engine._prepare(wide, model, None, 1, "auto", 600)
+        third = engine._prepare(wide, model, None, 1, "auto", 600, True)
         assert third.noise is not first.noise  # mutation invalidates the memo
 
     def test_idle_wires_do_not_widen_simulation(self):

@@ -1,0 +1,206 @@
+"""Tests for the ensemble trajectory simulator
+(:mod:`repro.simulators.ensemble`): statistical agreement with the exact
+density-matrix distribution, seeded reproducibility, the grouped-insertion
+and general-channel paths, chunking, and the engine rewiring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel
+from repro.noise.channels import amplitude_damping_channel
+from repro.simulators import (
+    ExecutionEngine,
+    execute,
+    noisy_distribution_density_matrix,
+    simulate_trajectories_ensemble,
+)
+from repro.simulators.ensemble import _sample_outcomes_inverse_cdf
+
+
+def total_variation(distribution, exact, num_bits: int) -> float:
+    return 0.5 * sum(
+        abs(distribution.get(outcome) - exact.get(outcome))
+        for outcome in range(2**num_bits)
+    )
+
+
+def noisy_circuit(num_qubits: int = 4) -> QuantumCircuit:
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for q in range(num_qubits):
+        qc.h(q)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    for q in range(num_qubits):
+        qc.rz(0.1 * (q + 1), q)
+    qc.measure_all()
+    return qc
+
+
+class TestStatisticalAgreement:
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_matches_density_matrix_within_tv_bound(self, fusion):
+        # Acceptance criterion: a seeded ensemble run matches the exact
+        # distribution of a <= 6-qubit noisy circuit within TV 0.05.
+        qc = noisy_circuit(5)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.03, readout=0.02)
+        exact, _ = noisy_distribution_density_matrix(qc, model)
+        counts, qubits = simulate_trajectories_ensemble(
+            qc, model, shots=40000, seed=11, max_trajectories=500, fusion=fusion
+        )
+        assert qubits == list(range(5))
+        assert total_variation(counts.to_distribution(), exact, 5) <= 0.05
+
+    def test_ideal_model_single_trajectory(self):
+        qc = QuantumCircuit(3, 3)
+        qc.h(0).cx(0, 1).cx(1, 2)
+        qc.measure_all()
+        counts, _ = simulate_trajectories_ensemble(qc, None, shots=4000, seed=1)
+        dist = counts.to_distribution()
+        assert dist[0b000] == pytest.approx(0.5, abs=0.05)
+        assert dist[0b111] == pytest.approx(0.5, abs=0.05)
+
+    def test_general_channel_fallback(self):
+        # Amplitude damping is not a unitary mixture; the affected sites pay
+        # the per-trajectory Born-sampling cost but must still agree.
+        model = NoiseModel()
+        model.set_default_1q_error(amplitude_damping_channel(0.3))
+        qc = QuantumCircuit(1, 1)
+        qc.x(0)
+        qc.measure(0, 0)
+        exact, _ = noisy_distribution_density_matrix(qc, model)
+        counts, _ = simulate_trajectories_ensemble(
+            qc, model, shots=20000, seed=9, max_trajectories=500
+        )
+        sampled = counts.to_distribution()
+        assert sampled[0] == pytest.approx(exact[0], abs=0.03)
+        assert sampled[1] == pytest.approx(exact[1], abs=0.03)
+
+    def test_readout_confusion_applied(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        model = NoiseModel.depolarizing(readout=0.25)
+        counts, _ = simulate_trajectories_ensemble(qc, model, shots=20000, seed=3)
+        assert counts[1] / counts.shots == pytest.approx(0.25, abs=0.02)
+
+    def test_measured_subset_ordering(self):
+        qc = noisy_circuit(4).remove_final_measurements()
+        qc.measure_subset([2])
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        counts, qubits = simulate_trajectories_ensemble(qc, model, shots=2000, seed=5)
+        assert qubits == [2]
+        assert counts.num_bits == 1
+
+
+class TestReproducibilityAndPlumbing:
+    def test_seed_reproducible(self):
+        qc = noisy_circuit(4)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.03, readout=0.02)
+        a, _ = simulate_trajectories_ensemble(qc, model, shots=3000, seed=21)
+        b, _ = simulate_trajectories_ensemble(qc, model, shots=3000, seed=21)
+        assert a.to_dict() == b.to_dict()
+
+    def test_shot_budget_exact(self):
+        qc = noisy_circuit(3)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        counts, _ = simulate_trajectories_ensemble(
+            qc, model, shots=1234, seed=2, max_trajectories=100
+        )
+        assert counts.shots == 1234
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError, match="shots"):
+            simulate_trajectories_ensemble(noisy_circuit(2), None, shots=0)
+
+    def test_chunked_execution_statistics(self):
+        # A tiny per-chunk amplitude budget forces many chunks; statistics
+        # and reproducibility must be unaffected.
+        qc = noisy_circuit(4)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.03)
+        exact, _ = noisy_distribution_density_matrix(qc, model)
+        kwargs = dict(shots=30000, seed=7, max_trajectories=300, max_batch_elements=256)
+        counts, _ = simulate_trajectories_ensemble(qc, model, **kwargs)
+        again, _ = simulate_trajectories_ensemble(qc, model, **kwargs)
+        assert counts.to_dict() == again.to_dict()
+        assert total_variation(counts.to_distribution(), exact, 4) <= 0.05
+
+    def test_inverse_cdf_sampler_deterministic_rows(self):
+        probs = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        shots = np.array([5, 4, 3])
+        rng = np.random.default_rng(0)
+        outcomes = _sample_outcomes_inverse_cdf(probs, shots, rng)
+        assert outcomes.tolist() == [0] * 5 + [2] * 4 + [1] * 3
+
+    def test_inverse_cdf_sampler_distribution(self):
+        probs = np.array([[0.25, 0.75], [0.5, 0.5]])
+        shots = np.array([40000, 40000])
+        rng = np.random.default_rng(12)
+        outcomes = _sample_outcomes_inverse_cdf(probs, shots, rng)
+        first = outcomes[:40000]
+        second = outcomes[40000:]
+        assert first.mean() == pytest.approx(0.75, abs=0.01)
+        assert second.mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_inverse_cdf_sampler_zero_shot_rows(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        shots = np.array([0, 3])
+        rng = np.random.default_rng(1)
+        assert _sample_outcomes_inverse_cdf(probs, shots, rng).tolist() == [1, 1, 1]
+
+
+class TestEngineRewiring:
+    def wide_noisy_circuit(self) -> QuantumCircuit:
+        qc = QuantumCircuit(12, 12)
+        for q in range(12):
+            qc.h(q)
+        for q in range(11):
+            qc.cx(q, q + 1)
+        qc.measure_all()
+        return qc
+
+    def test_execute_trajectory_method_uses_ensemble(self):
+        qc = noisy_circuit(3)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        direct, qubits = simulate_trajectories_ensemble(
+            qc, model, shots=500, seed=13, max_trajectories=600
+        )
+        via_execute = execute(qc, model, shots=500, seed=13, method="trajectory")
+        assert via_execute.method == "trajectory"
+        assert via_execute.measured_qubits == qubits
+        assert via_execute.counts.to_dict() == direct.to_dict()
+
+    def test_fusion_toggle_is_part_of_the_trajectory_cache_key(self):
+        engine = ExecutionEngine()
+        qc = self.wide_noisy_circuit()
+        model = NoiseModel.depolarizing(p1=0.005, p2=0.02)
+        engine.execute(qc, model, shots=300, seed=5)
+        engine.execute(qc, model, shots=300, seed=5, fusion=False)
+        # Different RNG streams -> different results -> must not share a line.
+        assert engine.stats.executed == 2
+        assert engine.stats.cache_hits == 0
+        engine.execute(qc, model, shots=300, seed=5)
+        assert engine.stats.cache_hits == 1
+
+    def test_exact_methods_share_cache_lines_across_fusion_settings(self):
+        engine = ExecutionEngine()
+        qc = noisy_circuit(3)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        a = engine.execute(qc, model)  # density matrix, fusion on
+        b = engine.execute(qc, model, fusion=False)  # fusion-invariant
+        assert a.method == b.method == "density_matrix"
+        assert engine.stats.cache_hits == 1
+
+    def test_engine_trajectory_reproducible(self):
+        qc = self.wide_noisy_circuit()
+        model = NoiseModel.depolarizing(p1=0.005, p2=0.02, readout=0.02)
+        a = ExecutionEngine().execute(qc, model, shots=300, seed=5)
+        b = ExecutionEngine().execute(qc, model, shots=300, seed=5)
+        assert a.method == "trajectory"
+        assert a.counts.to_dict() == b.counts.to_dict()

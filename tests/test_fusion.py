@@ -1,0 +1,176 @@
+"""Correctness tests for the gate-fusion pre-pass (:mod:`repro.simulators.fusion`).
+
+Fusion must be observationally invisible: the fused program yields the same
+state (ideal) and the same exact noisy distribution (density matrix) as the
+gate-by-gate reference, with noise sites slotted between fused blocks exactly
+where they sat in the original circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel
+from repro.noise.channels import depolarizing_channel
+from repro.simulators import (
+    fuse_circuit,
+    noisy_distribution_density_matrix,
+    simulate_statevector,
+)
+
+
+def random_circuit(
+    rng: np.random.Generator,
+    num_qubits: int,
+    num_gates: int = 25,
+    barriers: bool = False,
+) -> QuantumCircuit:
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    one_q = ["h", "x", "s", "t", "sx"]
+    for _ in range(num_gates):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            getattr(qc, one_q[rng.integers(0, len(one_q))])(int(rng.integers(0, num_qubits)))
+        elif kind == 1:
+            qc.rz(float(rng.uniform(0, 2 * np.pi)), int(rng.integers(0, num_qubits)))
+        elif kind == 2 and num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            qc.cx(int(a), int(b))
+        else:
+            if num_qubits >= 2:
+                a, b = rng.choice(num_qubits, size=2, replace=False)
+                qc.cz(int(a), int(b))
+        if barriers and rng.random() < 0.15:
+            qc.barrier()
+    qc.measure_all()
+    return qc
+
+
+class TestFusedProgramStructure:
+    def test_ideal_circuit_fuses_to_fewer_ops(self):
+        qc = QuantumCircuit(3, 3)
+        qc.h(0).cx(0, 1).rz(0.3, 1).cx(1, 2).h(2)
+        program = fuse_circuit(qc)
+        assert program.num_gates == 5
+        assert len(program.operations) < 5
+
+    def test_max_qubits_zero_disables_fusion(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).h(0).cx(0, 1)
+        program = fuse_circuit(qc, max_qubits=0)
+        assert len(program.operations) == 3
+        assert all(not op.sites for op in program.operations)
+
+    def test_support_bound_respected(self):
+        rng = np.random.default_rng(7)
+        qc = random_circuit(rng, 5, num_gates=40)
+        for max_qubits in (1, 2, 3):
+            program = fuse_circuit(qc, max_qubits=max_qubits)
+            assert all(len(op.qubits) <= max(max_qubits, 2) for op in program.operations)
+
+    def test_wide_gate_forms_its_own_block(self):
+        qc = QuantumCircuit(3, 3)
+        qc.h(0).ccx(0, 1, 2).h(2)
+        program = fuse_circuit(qc, max_qubits=2)
+        assert any(len(op.qubits) == 3 for op in program.operations)
+
+    def test_barrier_is_a_fusion_boundary(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.barrier()
+        qc.h(0)
+        program = fuse_circuit(qc)
+        assert len(program.operations) == 2
+
+    def test_measurement_is_a_fusion_boundary(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.h(1)
+        qc.measure(1, 1)
+        program = fuse_circuit(qc)
+        assert len(program.operations) == 2
+
+    def test_noisy_gate_terminates_its_block(self):
+        model = NoiseModel()
+        model.set_gate_error("cx", depolarizing_channel(0.05, 2))
+        qc = QuantumCircuit(2, 2)
+        qc.rz(0.1, 0)
+        qc.cx(0, 1)
+        qc.rz(0.2, 1)
+        program = fuse_circuit(qc, model)
+        # rz+cx fuse into one block that must end at the noisy cx; the
+        # trailing rz starts a fresh block after the noise site.
+        assert len(program.operations) == 2
+        assert len(program.operations[0].sites) == 1
+        channel, wires = program.operations[0].sites[0]
+        assert wires == (0, 1)
+        assert not program.operations[1].sites
+
+    def test_identity_channels_are_dropped(self):
+        from repro.noise.channels import identity_channel
+
+        model = NoiseModel()
+        model.set_gate_error("h", identity_channel(1))
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).h(0)
+        program = fuse_circuit(qc, model)
+        assert all(not op.sites for op in program.operations)
+        # With no real noise the two h gates still fuse.
+        assert len(program.operations) == 1
+
+    def test_non_gate_instruction_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.reset(0)
+        with pytest.raises(ValueError, match="cannot simulate"):
+            fuse_circuit(qc)
+
+
+class TestFusionCorrectness:
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4, 5])
+    def test_ideal_state_matches_reference(self, num_qubits):
+        rng = np.random.default_rng(100 + num_qubits)
+        for trial in range(5):
+            qc = random_circuit(rng, num_qubits, barriers=(trial % 2 == 0))
+            stripped = qc.remove_final_measurements()
+            fused = simulate_statevector(stripped, fusion=True)
+            reference = simulate_statevector(stripped, fusion=False)
+            assert fused.fidelity(reference) == pytest.approx(1.0, abs=1e-10)
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4])
+    def test_noisy_distribution_matches_reference(self, num_qubits):
+        # The exact density-matrix path makes noise-site placement visible:
+        # moving a channel across a gate changes the distribution.
+        rng = np.random.default_rng(200 + num_qubits)
+        model = NoiseModel.depolarizing(p1=0.01, p2=0.04, readout=0.03)
+        for _ in range(4):
+            qc = random_circuit(rng, num_qubits)
+            fused, qubits_fused = noisy_distribution_density_matrix(qc, model, fusion=True)
+            reference, qubits_ref = noisy_distribution_density_matrix(qc, model, fusion=False)
+            assert qubits_fused == qubits_ref
+            for outcome in range(2**num_qubits):
+                assert fused.get(outcome) == pytest.approx(reference.get(outcome), abs=1e-10)
+
+    def test_partial_noise_site_placement(self):
+        # Noise only on cx: 1q runs around each cx fuse freely, yet the
+        # distribution must equal the unfused reference exactly — a noise
+        # site slid across a neighbouring gate would show up here.
+        model = NoiseModel()
+        model.set_gate_error("cx", depolarizing_channel(0.1, 2))
+        rng = np.random.default_rng(42)
+        for _ in range(5):
+            qc = random_circuit(rng, 3)
+            fused, _ = noisy_distribution_density_matrix(qc, model, fusion=True)
+            reference, _ = noisy_distribution_density_matrix(qc, model, fusion=False)
+            for outcome in range(8):
+                assert fused.get(outcome) == pytest.approx(reference.get(outcome), abs=1e-10)
+
+    def test_unsorted_wire_order_embedding(self):
+        # cx(1, 0) has wires in descending order; the embedded matrix must
+        # respect the wire tuple, not the sorted support.
+        qc = QuantumCircuit(2, 2)
+        qc.x(1)
+        qc.cx(1, 0)
+        state = simulate_statevector(qc, fusion=True)
+        assert abs(state.data[0b11]) == pytest.approx(1.0)
