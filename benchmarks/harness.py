@@ -32,14 +32,22 @@ __all__ = [
 ]
 
 
-def record_bench(name: str, median_seconds: float, speedup: float | None = None) -> None:
+def record_bench(
+    name: str,
+    median_seconds: float,
+    speedup: float | None = None,
+    extra: dict | None = None,
+) -> None:
     """Record one benchmark measurement in the ``BENCH_engine.json`` artifact.
 
-    The file maps benchmark name -> ``{median_seconds, speedup}`` and is the
-    machine-readable performance trajectory of the engine hot path: CI
+    The file maps benchmark name -> ``{median_seconds, speedup, ...}`` and is
+    the machine-readable performance trajectory of the engine hot path: CI
     uploads it on every run, so regressions show up as a diff rather than a
-    vibe.  Set ``BENCH_ENGINE_JSON`` to redirect the output; by default the
-    file lives at the repository root next to ``benchmarks/``.
+    vibe.  ``extra`` merges additional context into the entry (environment
+    facts a reader needs to interpret the number — e.g. ``cpu_cores`` for a
+    process-parallel measurement, cold/warm split for a cache ratio).  Set
+    ``BENCH_ENGINE_JSON`` to redirect the output; by default the file lives
+    at the repository root next to ``benchmarks/``.
     """
     import json
     import os
@@ -58,6 +66,9 @@ def record_bench(name: str, median_seconds: float, speedup: float | None = None)
     entry: dict = {"median_seconds": round(float(median_seconds), 6)}
     if speedup is not None:
         entry["speedup"] = round(float(speedup), 2)
+    if extra:
+        for key, value in extra.items():
+            entry[key] = round(value, 6) if isinstance(value, float) else value
     data[name] = entry
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)

@@ -154,6 +154,8 @@ def virtual_pauli_check(
     options: QSPCOptions | None = None,
     seed: int | None = None,
     engine: ExecutionEngine | None = None,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> VirtualCheckResult:
     """Run one virtual Pauli check over ``segment``.
 
@@ -181,6 +183,11 @@ def virtual_pauli_check(
         prepare/run/measure ensemble as one batch.  Sharing an engine across
         layers and subsets lets repeated check configurations hit its cache;
         defaults to the process-wide engine.
+    workers / cache_dir:
+        When no ``engine`` is passed, build a dedicated
+        :class:`~repro.simulators.engine.ExecutionEngine` with this many
+        sharding processes and/or this persistent cache directory instead of
+        the process-wide default.  Ignored when ``engine`` is given.
     """
     options = options or QSPCOptions()
     subset_qubits = [int(q) for q in subset_qubits]
@@ -240,7 +247,14 @@ def virtual_pauli_check(
     #    within the batch and caches across calls, so repeated layers and
     #    repeated check configurations are not re-simulated.
     # ------------------------------------------------------------------
-    engine = engine or get_default_engine()
+    owned_engine = None
+    if engine is None:
+        if workers is not None or cache_dir is not None:
+            # Dedicated engine for this call; release its worker pool
+            # deterministically once the batch is done.
+            engine = owned_engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+        else:
+            engine = get_default_engine()
     variants = [
         (prep_labels, basis)
         for prep_labels in sorted(needed_preparations)
@@ -250,13 +264,17 @@ def virtual_pauli_check(
         _build_prepared_circuit(segment, subset_qubits, prep_labels, basis)
         for prep_labels, basis in variants
     ]
-    results = engine.execute_many(
-        circuits,
-        noise_model,
-        shots=options.shots_per_circuit,
-        seed=seed,
-        max_trajectories=options.max_trajectories,
-    )
+    try:
+        results = engine.execute_many(
+            circuits,
+            noise_model,
+            shots=options.shots_per_circuit,
+            seed=seed,
+            max_trajectories=options.max_trajectories,
+        )
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
 
     expectations: dict[tuple[tuple[str, ...], str], float] = {}
     num_circuits = 0

@@ -149,6 +149,15 @@ class QuTracer:
         are submitted through.  Pass a shared engine to pool the result cache
         with other methods running the same workload (the benchmark harness
         does this); by default each tracer gets its own engine.
+    workers:
+        Process count for the default engine's parallel sharder — the QSPC
+        prepare/run/measure batches fan out across this many worker
+        processes.  Ignored when an explicit ``engine`` is passed (configure
+        that engine instead).
+    cache_dir:
+        Persistent on-disk result cache directory for the default engine;
+        repeated tracer sweeps warm-start across sessions.  Ignored when an
+        explicit ``engine`` is passed.
     """
 
     def __init__(
@@ -161,6 +170,8 @@ class QuTracer:
         options: QuTracerOptions | None = None,
         max_trajectories: int = 300,
         engine: ExecutionEngine | None = None,
+        workers: int | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         if noise_model is None and device is None:
             raise ValueError("provide a noise_model, a device, or both")
@@ -171,11 +182,30 @@ class QuTracer:
         self.seed = seed
         self.options = options or QuTracerOptions()
         self.max_trajectories = max_trajectories
-        self.engine = engine or ExecutionEngine(max_trajectories=max_trajectories)
+        self._owns_engine = engine is None
+        self.engine = engine or ExecutionEngine(
+            max_trajectories=max_trajectories, workers=workers, cache_dir=cache_dir
+        )
         # assignment -> derived NoiseModel; building a device noise model is
         # expensive (channel composition + Kraus reduction) and the same
         # assignment recurs for every circuit copy that uses the same wires.
         self._assignment_noise: dict[tuple, NoiseModel] = {}
+
+    def close(self) -> None:
+        """Release the engine's worker pool if this tracer owns the engine.
+
+        A shared engine passed in by the caller is left untouched (its
+        owner decides its lifetime).  The tracer stays usable after
+        ``close()`` — a later parallel batch lazily recreates the pool.
+        """
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "QuTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Noise-model selection (qubit remapping optimization)

@@ -76,6 +76,8 @@ def run_jigsaw(
     seed: int | None = None,
     max_trajectories: int = 600,
     engine: ExecutionEngine | None = None,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> JigsawResult:
     """Run the Jigsaw protocol.
 
@@ -87,11 +89,21 @@ def run_jigsaw(
     The subset circuits are submitted as one batch through ``engine``
     (default: the process-wide engine), which deduplicates identical subset
     circuits and caches results across repeated runs of the same workload.
+    ``workers``/``cache_dir`` build a dedicated engine (process-parallel
+    sharding and/or a persistent on-disk cache) when no ``engine`` is
+    passed; they are ignored otherwise.
     """
     if not circuit.has_measurements:
         circuit = circuit.copy()
         circuit.measure_all()
-    engine = engine or get_default_engine()
+    owned_engine = None
+    if engine is None:
+        if workers is not None or cache_dir is not None:
+            # Dedicated engine for this call; its worker pool is released
+            # deterministically below instead of waiting for GC.
+            engine = owned_engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+        else:
+            engine = get_default_engine()
     measured = circuit.measured_qubits
     if subsets is None:
         subsets = default_subsets(measured, subset_size)
@@ -102,19 +114,23 @@ def run_jigsaw(
     shots_global = max(shots // 2, 1)
     shots_per_subset = max((shots - shots_global) // len(subsets), 1)
 
-    global_result = engine.execute(
-        circuit, noise_model, shots=shots_global, seed=seed, max_trajectories=max_trajectories
-    )
-    global_distribution = global_result.distribution
+    try:
+        global_result = engine.execute(
+            circuit, noise_model, shots=shots_global, seed=seed, max_trajectories=max_trajectories
+        )
+        global_distribution = global_result.distribution
 
-    subset_circuits = [build_subset_circuit(circuit, subset) for subset in subsets]
-    local_results = engine.execute_many(
-        subset_circuits,
-        noise_model,
-        shots=shots_per_subset,
-        seed=None if seed is None else seed + 101,
-        max_trajectories=max_trajectories,
-    )
+        subset_circuits = [build_subset_circuit(circuit, subset) for subset in subsets]
+        local_results = engine.execute_many(
+            subset_circuits,
+            noise_model,
+            shots=shots_per_subset,
+            seed=None if seed is None else seed + 101,
+            max_trajectories=max_trajectories,
+        )
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
     local_distributions: list[tuple[ProbabilityDistribution, list[int]]] = []
     for subset, local_result in zip(subsets, local_results):
         # Bits of the local distribution follow clbit order (sorted subset).

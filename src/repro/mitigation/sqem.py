@@ -38,6 +38,8 @@ def run_sqem(
     seed: int | None = None,
     max_trajectories: int = 300,
     engine: ExecutionEngine | None = None,
+    workers: int | None = None,
+    cache_dir: str | None = None,
 ) -> QuTracerResult:
     """Run the SQEM baseline and return the refined global distribution.
 
@@ -45,7 +47,9 @@ def run_sqem(
     fields (circuit copies, two-qubit gate counts) reflect SQEM's larger
     cost.  SQEM's many full-width copies all flow through ``engine``, where
     its heavy duplication (every basis, every preparation, re-run per layer)
-    becomes cache hits.
+    becomes cache hits.  ``workers``/``cache_dir`` configure the default
+    engine's process-parallel sharding and persistent on-disk cache when no
+    ``engine`` is passed (forwarded to :class:`~repro.core.QuTracer`).
     """
     options = QuTracerOptions(
         enable_checks=True,
@@ -64,5 +68,12 @@ def run_sqem(
         options=options,
         max_trajectories=max_trajectories,
         engine=engine,
+        workers=workers,
+        cache_dir=cache_dir,
     )
-    return runner.run(circuit, subsets=subsets, subset_size=subset_size)
+    try:
+        return runner.run(circuit, subsets=subsets, subset_size=subset_size)
+    finally:
+        # Releases the worker pool when the tracer built its own engine;
+        # a caller-supplied engine is left untouched.
+        runner.close()

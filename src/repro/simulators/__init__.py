@@ -1,6 +1,8 @@
 """Statevector, density-matrix and trajectory simulators, plus the batched
-cached :class:`ExecutionEngine` front-end (see ``docs/architecture.md``)."""
+cached :class:`ExecutionEngine` front-end with process-parallel sharding and
+a persistent on-disk result cache (see ``docs/architecture.md``)."""
 
+from .cache import CACHE_FORMAT_VERSION, PersistentResultCache
 from .density_matrix import (
     DensityMatrix,
     noisy_distribution_density_matrix,
@@ -13,7 +15,8 @@ from .engine import (
     get_default_engine,
 )
 from .ensemble import simulate_trajectories_ensemble
-from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute, execute_many
+from .parallel import CompactTask, ParallelSharder, run_compact_task
 from .fusion import (
     DEFAULT_FUSION_MAX_QUBITS,
     FusedOperation,
@@ -30,6 +33,12 @@ __all__ = [
     "ExecutionResult",
     "ExecutionEngine",
     "EngineStats",
+    "PersistentResultCache",
+    "CACHE_FORMAT_VERSION",
+    "CompactTask",
+    "ParallelSharder",
+    "run_compact_task",
+    "execute_many",
     "FusedOperation",
     "FusedProgram",
     "circuit_fingerprint",

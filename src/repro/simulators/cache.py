@@ -1,0 +1,271 @@
+"""Persistent, content-addressed result cache backing the execution engine.
+
+QuTracer-style sweeps (qspc / tracer / pcs / jigsaw / sqem) resubmit the same
+subset circuits across *processes and sessions*, not just within one batch:
+a benchmark re-run, a parameter sweep restarted after a crash, or a fleet of
+worker processes all simulate largely identical circuit populations.  The
+in-memory LRU inside :class:`~repro.simulators.engine.ExecutionEngine`
+evaporates at interpreter exit; this module adds the durable layer under it.
+
+Design (following content-addressed shared-storage archives: results are
+immutable blobs addressed by a fingerprint of everything that determined
+them):
+
+* **Content addressing.**  The cache key is the engine's cache-key tuple —
+  circuit fingerprint, noise fingerprint, method, shots, derived seed,
+  trajectory budget, fusion settings — which already names *content*, never
+  object identity.  The key tuple is canonicalised to bytes and hashed; the
+  digest is the file name.  Two processes that build equivalent circuits and
+  noise models therefore share cache entries with no coordination.
+* **Versioned file format.**  Entries live under ``<cache_dir>/vN/`` and
+  every file starts with a magic header recording the format version.  A
+  format bump changes both, so old trees are simply ignored — never
+  misparsed.
+* **Atomic writes.**  Entries are written to a temporary file in the target
+  directory and published with :func:`os.replace`, so a reader never
+  observes a half-written entry even with concurrent writers (the POSIX
+  rename is atomic; last writer wins, and both writers wrote the same
+  content anyway — the key addresses it).
+* **Corruption tolerance.**  A read that fails for *any* reason (truncated
+  file, wrong magic, unpicklable payload, stale class layout) is treated as
+  a miss and the offending file is deleted.  A corrupt cache can cost a
+  recomputation, never an exception or a wrong result.
+* **LRU size cap.**  Each hit refreshes the entry's mtime; when the tree
+  exceeds ``max_bytes`` after a write, the oldest-mtime entries are evicted
+  until the tree is back under the cap.
+
+The payloads are pickled Python objects (``ExecutionResult`` or the
+engine's ``(distribution, measured_qubits)`` density-matrix state entries).
+The cache directory is trusted local storage — the same trust boundary as
+the repository checkout itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Iterator
+
+__all__ = ["PersistentResultCache", "CACHE_FORMAT_VERSION", "canonical_key_bytes"]
+
+CACHE_FORMAT_VERSION = 1
+
+# Every entry file starts with this line; a reader that does not find it
+# (old format, foreign file, truncation that ate the header) discards the
+# file instead of attempting to unpickle garbage.
+_MAGIC = b"repro-result-cache:v%d\n" % CACHE_FORMAT_VERSION
+
+# Default size cap: generous for result distributions (a few KB each) while
+# still bounded — ~100k typical entries.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+
+def canonical_key_bytes(key: tuple) -> bytes:
+    """Deterministic byte encoding of an engine cache-key tuple.
+
+    Keys are built from primitives (``str``/``int``/``bool``/``None`` and
+    nested tuples of those), whose ``repr`` is stable across processes and
+    Python builds — unlike ``hash()``, which is salted per process.
+    """
+    return repr(key).encode()
+
+
+class PersistentResultCache:
+    """On-disk LRU cache mapping engine cache keys to pickled results.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory of the cache.  Created on demand; entries are stored
+        under a version subdirectory (``<cache_dir>/v1/``) fanned out by the
+        first byte of the key digest.
+    max_bytes:
+        Size cap for the entry tree.  When exceeded, least-recently-used
+        entries (by mtime — refreshed on every hit) are evicted.
+        ``None`` disables eviction.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, max_bytes: int | None = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.root = os.path.join(os.fspath(cache_dir), f"v{CACHE_FORMAT_VERSION}")
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.write_errors = 0
+        # Running size estimate: measured from disk lazily, bumped per put,
+        # re-measured after each eviction.  Scanning the tree on every put
+        # would make writes O(entries); the estimate keeps the cap enforced
+        # per put while only scanning when it is actually crossed.  (It can
+        # undercount concurrent writers; their own estimates cover them.)
+        self._approx_bytes: int | None = None
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def _path(self, key: tuple) -> str:
+        digest = hashlib.sha256(canonical_key_bytes(key)).hexdigest()
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def get(self, key: tuple) -> Any:
+        """Return the cached value, or ``None`` on miss/corruption.
+
+        A hit refreshes the entry's mtime (the LRU clock).  Any failure —
+        missing file, bad magic, truncated or unpicklable payload — counts
+        as a miss and removes the file.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                if handle.read(len(_MAGIC)) != _MAGIC:
+                    raise ValueError("bad cache entry header")
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt / foreign / stale-format entry: drop it so the slot
+            # heals itself on the next put.
+            self._remove(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic publish; last writer wins).
+
+        Write failures (disk full, tree gone read-only) are swallowed and
+        counted in :attr:`write_errors`: the caller's simulation already
+        succeeded, and an unusable cache must only cost recomputation —
+        the same contract corrupt reads honour.
+        """
+        payload = _MAGIC + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        temp_path = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_path, path)
+        except OSError:
+            if temp_path is not None:
+                self._remove(temp_path)
+            self.write_errors += 1
+            return
+        except BaseException:
+            if temp_path is not None:
+                self._remove(temp_path)
+            raise
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += len(payload)
+            if self._approx_bytes > self.max_bytes:
+                self._evict()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        return sum(size for _, _, size in self._entries())
+
+    def clear(self) -> None:
+        for path, _, _ in list(self._entries()):
+            self._remove(path)
+        self._reap_temp_files(min_age_seconds=0.0)
+        self._approx_bytes = 0
+
+    def _entries(self) -> Iterator[tuple[str, float, int]]:
+        """Yield ``(path, mtime, size)`` for every entry file."""
+        try:
+            shards = os.listdir(self.root)
+        except FileNotFoundError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except (NotADirectoryError, FileNotFoundError):
+                continue
+            for name in names:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                yield path, stat.st_mtime, stat.st_size
+
+    def _reap_temp_files(self, min_age_seconds: float = 300.0) -> None:
+        """Remove ``.tmp`` files orphaned by interrupted writers.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+        ``.tmp`` file that no read or eviction would otherwise touch; left
+        alone, crashes would accumulate untracked disk usage forever.  The
+        age floor avoids racing a live writer (whose temp file is seconds
+        old); a reaped live write simply loses that one put, which the
+        write-failure contract already allows.
+        """
+        import time
+
+        cutoff = time.time() - min_age_seconds
+        try:
+            shards = os.listdir(self.root)
+        except FileNotFoundError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except (NotADirectoryError, FileNotFoundError):
+                continue
+            for name in names:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if os.stat(path).st_mtime <= cutoff:
+                        self._remove(path)
+                except OSError:
+                    continue
+
+    def _evict(self) -> None:
+        """Delete oldest-mtime entries until the tree fits ``max_bytes``."""
+        if self.max_bytes is None:
+            return
+        self._reap_temp_files()
+        entries = sorted(self._entries(), key=lambda item: item[1])
+        total = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            self._remove(path)
+            total -= size
+            self.evictions += 1
+        self._approx_bytes = total
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -52,10 +52,17 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
 from ..noise import NoiseModel
-from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
-from .ensemble import simulate_trajectories_ensemble
-from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute
+from .cache import DEFAULT_MAX_BYTES, PersistentResultCache
+from .density_matrix import noisy_distribution_density_matrix
+from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
+from .parallel import (
+    DEFAULT_TRAJECTORY_SHOTS,
+    CompactTask,
+    ParallelSharder,
+    apply_readout_confusion,
+    run_compact_task,
+)
 from .result import ExecutionResult
 
 __all__ = [
@@ -65,10 +72,9 @@ __all__ = [
     "get_default_engine",
 ]
 
-# Shot budget used when the trajectory method (which always samples) is
-# invoked without an explicit ``shots``; mirrors simulate_trajectories'
-# signature default.
-DEFAULT_TRAJECTORY_SHOTS = 4096
+# DEFAULT_TRAJECTORY_SHOTS is defined next to the compute function in
+# .parallel and imported above: the cache key (here) and the simulated shot
+# count (there) must agree on what shots=None means.
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -107,6 +113,11 @@ class EngineStats:
     # Density-matrix runs that reused a cached pre-readout distribution
     # (same circuit + gate noise under a different readout model).
     state_cache_hits: int = 0
+    # Subset of cache_hits that were served from the persistent on-disk
+    # layer (and promoted into the in-memory cache).
+    persistent_hits: int = 0
+    # Executions dispatched to pool workers (the rest ran in-process).
+    parallel_executed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -121,6 +132,8 @@ class EngineStats:
         self.uncacheable = 0
         self.executed = 0
         self.state_cache_hits = 0
+        self.persistent_hits = 0
+        self.parallel_executed = 0
 
 
 @dataclasses.dataclass
@@ -167,6 +180,24 @@ class ExecutionEngine:
         ``fusion_max_qubits`` wires into single matrices before simulating
         (:mod:`repro.simulators.fusion`).  Noise placement is unchanged.
         Overridable per call via :meth:`execute_many`.
+    workers:
+        Process count for sharding :meth:`execute_many` batches across a
+        :class:`~repro.simulators.parallel.ParallelSharder` pool.  ``None``
+        or ``1`` keeps everything in-process.  Deduplication and cache
+        lookups always happen in the parent; only novel work is dispatched,
+        and results are bit-identical to a serial run (workers execute the
+        same pure compute function with the same derived seeds).
+        Overridable per call via :meth:`execute_many`.
+    chunk_size:
+        Tasks per pickled work unit when sharding (``None`` auto-sizes).
+    cache_dir:
+        Directory for the persistent on-disk result cache
+        (:class:`~repro.simulators.cache.PersistentResultCache`).  Backs the
+        in-memory LRU: misses fall through to disk, fresh results are
+        written through, so repeated experiments warm-start across
+        processes and sessions.  ``None`` (default) disables persistence.
+    persistent_cache_bytes:
+        Size cap for the on-disk cache tree (LRU eviction by mtime).
     """
 
     def __init__(
@@ -177,15 +208,29 @@ class ExecutionEngine:
         compact: bool = True,
         fusion: bool = True,
         fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        cache_dir: str | None = None,
+        persistent_cache_bytes: int | None = DEFAULT_MAX_BYTES,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for in-process)")
         self.density_matrix_threshold = int(density_matrix_threshold)
         self.max_trajectories = int(max_trajectories)
         self.cache_size = int(cache_size)
         self.compact = bool(compact)
         self.fusion = bool(fusion)
         self.fusion_max_qubits = int(fusion_max_qubits)
+        self.workers = int(workers) if workers is not None else None
+        self.chunk_size = chunk_size
+        self._sharder: ParallelSharder | None = None
+        self._persistent = (
+            PersistentResultCache(cache_dir, max_bytes=persistent_cache_bytes)
+            if cache_dir is not None
+            else None
+        )
         self.stats = EngineStats()
         # Maps result keys -> ExecutionResult and "dm-state" keys -> the
         # (distribution, measured_qubits) pre-readout payload.
@@ -224,7 +269,12 @@ class ExecutionEngine:
         max_trajectories: int | None = None,
         fusion: bool | None = None,
     ) -> ExecutionResult:
-        """Run one circuit through the cache (see :meth:`execute_many`)."""
+        """Run one circuit through the cache (see :meth:`execute_many`).
+
+        A single-request batch never shards (there is nothing to run
+        concurrently), so this is always served in-process regardless of
+        the engine's ``workers`` setting.
+        """
         return self.execute_many(
             [circuit],
             noise_model=noise_model,
@@ -244,6 +294,7 @@ class ExecutionEngine:
         method: str = "auto",
         max_trajectories: int | None = None,
         fusion: bool | None = None,
+        workers: int | None = None,
     ) -> list[ExecutionResult]:
         """Run a batch of circuits, deduplicating and caching shared work.
 
@@ -252,6 +303,10 @@ class ExecutionEngine:
         ``fusion`` overrides the engine's gate-fusion default for this call
         (``None`` keeps it); sampled trajectory results key the fusion
         settings into the cache because the RNG stream depends on them.
+        ``workers`` overrides the engine's process count for this call
+        (``None`` keeps it): with more than one worker, requests that
+        survive deduplication and cache lookup are sharded across a process
+        pool and return bit-identical results to a serial run.
         Identical circuits are executed once; every requester receives a
         result equal to what a sequential :func:`~repro.simulators.execute.execute`
         call would produce.  ``seed`` decorrelates distinct circuits (each
@@ -279,10 +334,13 @@ class ExecutionEngine:
         noise_model = noise_model or NoiseModel.ideal()
         max_trajectories = max_trajectories or self.max_trajectories
         fusion = self.fusion if fusion is None else bool(fusion)
+        workers = (self.workers or 1) if workers is None else int(workers)
         prepared = [
             self._prepare(circuit, noise_model, shots, seed, method, max_trajectories, fusion)
             for circuit in circuits
         ]
+        if workers > 1 and len(prepared) > 1:
+            return self._execute_many_parallel(prepared, shots, max_trajectories, workers)
 
         results: list[ExecutionResult | None] = [None] * len(prepared)
         batch_first: dict[tuple, ExecutionResult] = {}
@@ -317,12 +375,196 @@ class ExecutionEngine:
             raise RuntimeError("internal error: a request was dispatched without a result")
         return results  # type: ignore[return-value]
 
+    def _execute_many_parallel(
+        self,
+        prepared: list[_Prepared],
+        shots: int | None,
+        max_trajectories: int,
+        workers: int,
+    ) -> list[ExecutionResult]:
+        """Shard a prepared batch across the process pool.
+
+        The parent does everything stateful — deduplication, in-memory and
+        persistent cache lookups, cache writes, delivery translation — so
+        workers stay pure.  Only requests that miss every cache are
+        dispatched; duplicates of a dispatched key wait for its single
+        execution, exactly as in the serial path.
+
+        Density-matrix requests keep the readout-factored state cache: a
+        state-cache hit is finished in the parent (confusion + optional
+        sampling are cheap); a miss dispatches the expensive *gate-noise*
+        evolution to a worker and the parent applies readout on top and
+        writes the ``dm-state`` entry — so measurement-error sweeps
+        warm-start under ``workers>1`` exactly as they do serially.
+        """
+        results: list[ExecutionResult | None] = [None] * len(prepared)
+        # key -> requester indices awaiting the key's single execution
+        pending: OrderedDict[tuple, list[int]] = OrderedDict()
+        tasks: list[CompactTask] = []
+        # Mirror of ``tasks``:
+        #   ("keyed", key)          -> cache-missed non-dm execution
+        #   ("direct", index)       -> uncacheable non-dm execution
+        #   ("dm-state", state_key) -> gate-noise evolution; consumers below
+        task_refs: list[tuple[str, Any]] = []
+        # state_key -> [("keyed", key) | ("direct", index), ...]; several
+        # uncacheable requests of one circuit share a single evolution, as
+        # they would share the state-cache line serially.
+        dm_consumers: OrderedDict[tuple, list[tuple[str, Any]]] = OrderedDict()
+
+        def enqueue_density_matrix(request: _Prepared, consumer: tuple[str, Any]) -> bool:
+            """True if the request was finished from the state cache."""
+            gate_noise, gate_fingerprint = self._gate_noise_for(request.noise)
+            state_key = ("dm-state", request.fingerprint, gate_fingerprint)
+            if state_key not in dm_consumers and self._cache_get(state_key) is not None:
+                return True  # cheap: finish in-parent via the serial path
+            if state_key not in dm_consumers:
+                dm_consumers[state_key] = []
+                tasks.append(
+                    dataclasses.replace(
+                        self._task_for(request, None, max_trajectories),
+                        noise=gate_noise,
+                        seed=None,
+                    )
+                )
+                task_refs.append(("dm-state", state_key))
+            dm_consumers[state_key].append(consumer)
+            return False
+
+        for index, request in enumerate(prepared):
+            self.stats.requests += 1
+            if request.key is None:
+                # Unseeded sampling: uncacheable and never deduplicated —
+                # each occurrence is an independent draw (in a worker, from
+                # fresh OS entropy, exactly as in-process).
+                self.stats.uncacheable += 1
+                if request.method == "density_matrix":
+                    if enqueue_density_matrix(request, ("direct", index)):
+                        results[index] = self._deliver(
+                            self._run(request, shots, max_trajectories), request
+                        )
+                else:
+                    tasks.append(self._task_for(request, shots, max_trajectories))
+                    task_refs.append(("direct", index))
+                continue
+            if request.key in pending:
+                self.stats.batch_dedup_hits += 1
+                pending[request.key].append(index)
+                continue
+            cached = self._cache_get(request.key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[index] = self._deliver(cached, request)
+                continue
+            self.stats.cache_misses += 1
+            if request.method == "density_matrix":
+                if enqueue_density_matrix(request, ("keyed", request.key)):
+                    # Later duplicates of this key hit the result cache.
+                    result = self._run(request, shots, max_trajectories)
+                    self._cache_put(request.key, result)
+                    results[index] = self._deliver(result, request)
+                else:
+                    pending[request.key] = [index]
+            else:
+                pending[request.key] = [index]
+                tasks.append(self._task_for(request, shots, max_trajectories))
+                task_refs.append(("keyed", request.key))
+
+        sharder = self._get_sharder(workers)
+        outputs = sharder.run(tasks)
+        self.stats.parallel_executed += sharder.last_dispatched
+
+        def finish_density_matrix(request: _Prepared, pre_readout: ExecutionResult) -> ExecutionResult:
+            # Same arithmetic as the serial readout-factored path: exact
+            # confusion per measured bit, then optional seeded sampling.
+            self.stats.executed += 1
+            distribution = apply_readout_confusion(
+                pre_readout.distribution, pre_readout.measured_qubits, request.noise
+            )
+            result = ExecutionResult(
+                distribution=distribution,
+                measured_qubits=list(pre_readout.measured_qubits),
+                method="density_matrix",
+            )
+            if shots is not None:
+                rng = np.random.default_rng(request.seed)
+                counts = distribution.sample(shots, rng)
+                result.counts = counts
+                result.shots = shots
+                result.distribution = counts.to_distribution()
+            return result
+
+        for (kind, ref), output in zip(task_refs, outputs):
+            if kind == "direct":
+                self.stats.executed += 1
+                results[ref] = self._deliver(output, prepared[ref])
+            elif kind == "keyed":
+                self.stats.executed += 1
+                self._cache_put(ref, output)
+                for index in pending[ref]:
+                    results[index] = self._deliver(output, prepared[index])
+            else:  # dm-state: populate the state cache, then finish consumers
+                self._cache_put(ref, (output.distribution, list(output.measured_qubits)))
+                for consumer_kind, consumer_ref in dm_consumers[ref]:
+                    if consumer_kind == "direct":
+                        request = prepared[consumer_ref]
+                        results[consumer_ref] = self._deliver(
+                            finish_density_matrix(request, output), request
+                        )
+                    else:
+                        request = prepared[pending[consumer_ref][0]]
+                        result = finish_density_matrix(request, output)
+                        self._cache_put(consumer_ref, result)
+                        for index in pending[consumer_ref]:
+                            results[index] = self._deliver(result, prepared[index])
+        if any(r is None for r in results):
+            raise RuntimeError("internal error: a request was dispatched without a result")
+        return results  # type: ignore[return-value]
+
+    def _task_for(
+        self, request: _Prepared, shots: int | None, max_trajectories: int
+    ) -> CompactTask:
+        return CompactTask(
+            circuit=request.compact,
+            noise=request.noise,
+            method=request.method,
+            shots=shots,
+            seed=request.seed,
+            max_trajectories=max_trajectories,
+            fusion=request.fusion,
+            fusion_max_qubits=self.fusion_max_qubits,
+        )
+
+    def _get_sharder(self, workers: int) -> ParallelSharder:
+        if self._sharder is None or self._sharder.workers != workers:
+            if self._sharder is not None:
+                self._sharder.shutdown()
+            self._sharder = ParallelSharder(workers, chunk_size=self.chunk_size)
+        return self._sharder
+
+    def close(self) -> None:
+        """Release the worker pool (if any).  The engine stays usable; a
+        later parallel call lazily recreates the pool."""
+        if self._sharder is not None:
+            self._sharder.shutdown()
+            self._sharder = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def clear_cache(self) -> None:
+        """Drop the in-memory cache (the persistent layer is untouched)."""
         self._cache.clear()
 
     @property
     def cache_len(self) -> int:
         return len(self._cache)
+
+    @property
+    def persistent_cache(self) -> PersistentResultCache | None:
+        return self._persistent
 
     # ------------------------------------------------------------------
     # Request preparation
@@ -449,24 +691,11 @@ class ExecutionEngine:
         different embeddings of the same compact structure.
         """
         self.stats.executed += 1
-        if request.method == "trajectory":
-            counts, measured_qubits = simulate_trajectories_ensemble(
-                request.compact,
-                request.noise,
-                shots=shots or DEFAULT_TRAJECTORY_SHOTS,
-                seed=request.seed,
-                max_trajectories=max_trajectories,
-                fusion=request.fusion,
-                fusion_max_qubits=self.fusion_max_qubits,
-            )
-            result = ExecutionResult(
-                distribution=counts.to_distribution(),
-                measured_qubits=measured_qubits,
-                counts=counts,
-                shots=counts.shots,
-                method="trajectory",
-            )
-        elif request.method == "density_matrix":
+        if request.method == "density_matrix":
+            # Readout-factored path: the expensive gate-noise evolution is
+            # served by the state cache; only the confusion differs per
+            # request.  Arithmetic matches run_compact_task's uncached
+            # density-matrix branch bit for bit.
             distribution, measured_qubits = self._density_matrix_distribution(request)
             result = ExecutionResult(
                 distribution=distribution,
@@ -479,19 +708,20 @@ class ExecutionEngine:
                 result.counts = counts
                 result.shots = shots
                 result.distribution = counts.to_distribution()
-        else:
-            result = execute(
-                request.compact,
-                request.noise,
-                shots=shots,
-                seed=request.seed,
-                method=request.method,
-                density_matrix_threshold=self.density_matrix_threshold,
-                max_trajectories=max_trajectories,
-                fusion=request.fusion,
-                fusion_max_qubits=self.fusion_max_qubits,
-            )
-        return result
+            return result
+        # Statevector and trajectory share the pure compute function with
+        # the pool workers — one code path, bit-identical results.
+        return run_compact_task(self._task_for(request, shots, max_trajectories))
+
+    def _gate_noise_for(self, noise: NoiseModel) -> tuple[NoiseModel, str]:
+        """Memoised readout-free derivative of ``noise`` and its fingerprint."""
+        version = noise.version
+        memo = self._gate_noise.get(noise)
+        if memo is None or memo[0] != version:
+            gate_noise = noise.without_readout_errors()
+            memo = (version, gate_noise, self._noise_fingerprint(gate_noise))
+            self._gate_noise[noise] = memo
+        return memo[1], memo[2]
 
     def _density_matrix_distribution(self, request: _Prepared):
         """Exact noisy distribution with readout factored out of the cache key.
@@ -504,13 +734,7 @@ class ExecutionEngine:
         nothing; and because the simulation is deterministic, the state cache
         serves unseeded requests too.
         """
-        version = request.noise.version
-        memo = self._gate_noise.get(request.noise)
-        if memo is None or memo[0] != version:
-            gate_noise = request.noise.without_readout_errors()
-            memo = (version, gate_noise, self._noise_fingerprint(gate_noise))
-            self._gate_noise[request.noise] = memo
-        _, gate_noise, gate_fingerprint = memo
+        gate_noise, gate_fingerprint = self._gate_noise_for(request.noise)
         state_key = ("dm-state", request.fingerprint, gate_fingerprint)
         cached = self._cache_get(state_key)
         if cached is None:
@@ -524,10 +748,7 @@ class ExecutionEngine:
         else:
             self.stats.state_cache_hits += 1
             distribution, measured_qubits = cached
-        for bit, qubit in enumerate(measured_qubits):
-            error = request.noise.readout_error(qubit)
-            if error is not None:
-                distribution = _apply_confusion_bit(distribution, bit, error.confusion_matrix)
+        distribution = apply_readout_confusion(distribution, measured_qubits, request.noise)
         return distribution, list(measured_qubits)
 
     def _deliver(self, source: ExecutionResult, request: _Prepared) -> ExecutionResult:
@@ -578,9 +799,18 @@ class ExecutionEngine:
         result = self._cache.get(key)
         if result is not None:
             self._cache.move_to_end(key)
+            return result
+        if self._persistent is not None:
+            result = self._persistent.get(key)
+            if result is not None:
+                self.stats.persistent_hits += 1
+                # Promote to memory without re-writing the disk entry.
+                self._cache_put(key, result, persist=False)
         return result
 
-    def _cache_put(self, key: tuple, result: Any) -> None:
+    def _cache_put(self, key: tuple, result: Any, persist: bool = True) -> None:
+        if persist and self._persistent is not None:
+            self._persistent.put(key, result)
         if self.cache_size == 0:
             return
         self._cache[key] = result

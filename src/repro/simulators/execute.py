@@ -25,13 +25,11 @@ from typing import Any
 
 from ..circuits import QuantumCircuit
 from ..noise import NoiseModel
-from .density_matrix import noisy_distribution_density_matrix
-from .ensemble import simulate_trajectories_ensemble
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
+from .parallel import CompactTask, run_compact_task
 from .result import ExecutionResult
-from .statevector import ideal_distribution
 
-__all__ = ["execute", "DEFAULT_DENSITY_MATRIX_THRESHOLD"]
+__all__ = ["execute", "execute_many", "DEFAULT_DENSITY_MATRIX_THRESHOLD"]
 
 DEFAULT_DENSITY_MATRIX_THRESHOLD = 10
 
@@ -84,53 +82,62 @@ def execute(
         else:
             method = "trajectory"
 
-    metadata = dict(metadata or {})
-    if method == "statevector":
-        if not noise_model.is_ideal:
-            raise ValueError("the statevector method cannot apply noise")
-        distribution = ideal_distribution(circuit)
-        measured_qubits = circuit.measurement_layout()
-        result = ExecutionResult(
-            distribution=distribution,
-            measured_qubits=measured_qubits,
-            method="statevector",
-            metadata=metadata,
-        )
-    elif method == "density_matrix":
-        distribution, measured_qubits = noisy_distribution_density_matrix(
-            circuit, noise_model, fusion=fusion, fusion_max_qubits=fusion_max_qubits
-        )
-        result = ExecutionResult(
-            distribution=distribution,
-            measured_qubits=measured_qubits,
-            method="density_matrix",
-            metadata=metadata,
-        )
-    else:
-        counts, measured_qubits = simulate_trajectories_ensemble(
-            circuit,
-            noise_model,
-            shots=shots or 4096,
+    # The execution arithmetic lives in exactly one place —
+    # :func:`repro.simulators.parallel.run_compact_task`, shared with the
+    # engine's serial path and every pool worker — which is what keeps the
+    # "engine results are bit-identical to sequential execute" contract a
+    # structural property rather than a maintenance promise.
+    result = run_compact_task(
+        CompactTask(
+            circuit=circuit,
+            noise=noise_model,
+            method=method,
+            shots=shots,
             seed=seed,
             max_trajectories=max_trajectories,
             fusion=fusion,
             fusion_max_qubits=fusion_max_qubits,
         )
-        return ExecutionResult(
-            distribution=counts.to_distribution(),
-            measured_qubits=measured_qubits,
-            counts=counts,
-            shots=counts.shots,
-            method="trajectory",
-            metadata=metadata,
-        )
-
-    if shots is not None:
-        import numpy as np
-
-        rng = np.random.default_rng(seed)
-        counts = result.distribution.sample(shots, rng)
-        result.counts = counts
-        result.shots = shots
-        result.distribution = counts.to_distribution()
+    )
+    if metadata:
+        result.metadata = dict(metadata)
     return result
+
+
+def execute_many(
+    circuits,
+    noise_model: NoiseModel | None = None,
+    shots: int | None = None,
+    seed: int | None = None,
+    method: str = "auto",
+    max_trajectories: int = 600,
+    fusion: bool = True,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+) -> list[ExecutionResult]:
+    """Run a batch of circuits through a fresh :class:`ExecutionEngine`.
+
+    Convenience front-end for scripts: deduplicates identical circuits,
+    shards the surviving work across ``workers`` processes and (when
+    ``cache_dir`` is given) warm-starts from / writes through to the
+    persistent on-disk result cache.  Long-lived consumers should construct
+    and reuse their own :class:`~repro.simulators.engine.ExecutionEngine`
+    instead — the engine's in-memory cache and worker pool amortise across
+    calls, this helper's do not.
+    """
+    from .engine import ExecutionEngine  # local import: engine imports this module
+
+    with ExecutionEngine(
+        max_trajectories=max_trajectories,
+        fusion=fusion,
+        workers=workers,
+        cache_dir=cache_dir,
+    ) as engine:
+        return engine.execute_many(
+            circuits,
+            noise_model,
+            shots=shots,
+            seed=seed,
+            method=method,
+            max_trajectories=max_trajectories,
+        )

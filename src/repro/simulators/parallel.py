@@ -1,0 +1,256 @@
+"""Process-parallel sharding for :class:`~repro.simulators.engine.ExecutionEngine`.
+
+``execute_many`` batches are embarrassingly parallel once the parent has
+deduplicated them: each surviving request is an independent simulation of a
+compact circuit under a remapped noise model.  This module carries those
+requests across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the **parent** prepares every request (compaction, key derivation),
+  deduplicates identical circuits and consults the in-memory + persistent
+  caches — only genuinely novel work is dispatched;
+* each **worker** runs :func:`run_compact_task`, the same pure compute
+  function the engine's serial path uses, so a parallel run is bit-identical
+  to a serial one (same derived seeds, same RNG streams, same arithmetic);
+* compact-space results are pickled back, cached by the parent, and merged
+  into each requester's wire embedding through the engine's existing
+  ``_deliver`` translation.
+
+Worker determinism
+------------------
+A task carries everything that determines its result — the compact circuit,
+the remapped noise model, the resolved method, the *derived* per-circuit
+seed and the fusion settings.  Workers hold no state between tasks and never
+touch a cache, so scheduling order, worker count and chunking cannot change
+any result, only the wall-clock. Unseeded (uncacheable) requests draw fresh
+OS entropy in the worker exactly as they would in the parent: independent
+across occurrences either way.
+
+Fallback
+--------
+Sandboxes and exotic platforms sometimes cannot spawn worker processes at
+all.  :class:`ParallelSharder` degrades to in-process serial execution when
+the pool cannot be created (recording :attr:`ParallelSharder.fallback_reason`)
+— results are identical, only slower.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..noise import NoiseModel
+from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
+from .ensemble import simulate_trajectories_ensemble
+from .fusion import DEFAULT_FUSION_MAX_QUBITS
+from .result import ExecutionResult
+from .statevector import ideal_distribution
+
+__all__ = [
+    "CompactTask",
+    "ParallelSharder",
+    "run_compact_task",
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "DEFAULT_TRAJECTORY_SHOTS",
+]
+
+# Shot budget used when the trajectory method (which always samples) is
+# invoked without an explicit ``shots``.  Lives here — next to the compute
+# function that consumes it — and is re-exported by the engine module,
+# which keys it into trajectory cache lines; a single definition keeps the
+# cache key and the simulated shot count in lockstep.
+DEFAULT_TRAJECTORY_SHOTS = 4096
+
+# With no explicit chunk size, a batch of N tasks over W workers is split
+# into ~W * DEFAULT_CHUNKS_PER_WORKER chunks: enough slack that an uneven
+# task (one slow density-matrix circuit among trajectories) does not leave
+# workers idle, without paying per-task IPC for tiny tasks.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+
+@dataclasses.dataclass
+class CompactTask:
+    """One deduplicated, compact-space execution request (picklable).
+
+    Fields mirror the engine's ``_Prepared`` after cache lookup: the circuit
+    is already compacted, the noise model already remapped, the method
+    already resolved and the seed already derived — a worker only computes.
+    """
+
+    circuit: QuantumCircuit
+    noise: NoiseModel
+    method: str  # resolved: "statevector" | "density_matrix" | "trajectory"
+    shots: int | None
+    seed: int | None
+    max_trajectories: int
+    fusion: bool
+    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS
+
+
+def run_compact_task(task: CompactTask) -> ExecutionResult:
+    """Execute one compact-space task; pure function of the task contents.
+
+    This is the single source of truth for what an engine execution *is* —
+    the serial path (``ExecutionEngine._run``) and every pool worker call
+    it, which is what makes parallel results bit-identical to serial ones.
+    The density-matrix branch reproduces the engine's readout-factored
+    arithmetic (gate-noise evolution, then per-bit confusion) without the
+    state cache, so cached and uncached runs agree exactly.
+    """
+    if task.method == "trajectory":
+        counts, measured_qubits = simulate_trajectories_ensemble(
+            task.circuit,
+            task.noise,
+            shots=task.shots or DEFAULT_TRAJECTORY_SHOTS,
+            seed=task.seed,
+            max_trajectories=task.max_trajectories,
+            fusion=task.fusion,
+            fusion_max_qubits=task.fusion_max_qubits,
+        )
+        return ExecutionResult(
+            distribution=counts.to_distribution(),
+            measured_qubits=measured_qubits,
+            counts=counts,
+            shots=counts.shots,
+            method="trajectory",
+        )
+    if task.method == "density_matrix":
+        distribution, measured_qubits = noisy_distribution_density_matrix(
+            task.circuit,
+            task.noise,
+            fusion=task.fusion,
+            fusion_max_qubits=task.fusion_max_qubits,
+        )
+        result = ExecutionResult(
+            distribution=distribution,
+            measured_qubits=list(measured_qubits),
+            method="density_matrix",
+        )
+        if task.shots is not None:
+            rng = np.random.default_rng(task.seed)
+            counts = distribution.sample(task.shots, rng)
+            result.counts = counts
+            result.shots = task.shots
+            result.distribution = counts.to_distribution()
+        return result
+    if task.method == "statevector":
+        if not task.noise.is_ideal:
+            raise ValueError("the statevector method cannot apply noise")
+        distribution = ideal_distribution(task.circuit)
+        result = ExecutionResult(
+            distribution=distribution,
+            measured_qubits=task.circuit.measurement_layout(),
+            method="statevector",
+        )
+        if task.shots is not None:
+            rng = np.random.default_rng(task.seed)
+            counts = distribution.sample(task.shots, rng)
+            result.counts = counts
+            result.shots = task.shots
+            result.distribution = counts.to_distribution()
+        return result
+    raise ValueError(f"unresolved method {task.method!r}")
+
+
+def apply_readout_confusion(
+    distribution, measured_qubits: Sequence[int], noise: NoiseModel
+):
+    """Apply per-bit readout confusion for ``measured_qubits`` in clbit order.
+
+    Shared by the engine's readout-factored density-matrix path and
+    :func:`noisy_distribution_density_matrix` — both must apply confusion in
+    the same order with the same arithmetic for cached and uncached results
+    to agree bit-for-bit.
+    """
+    for bit, qubit in enumerate(measured_qubits):
+        error = noise.readout_error(qubit)
+        if error is not None:
+            distribution = _apply_confusion_bit(distribution, bit, error.confusion_matrix)
+    return distribution
+
+
+class ParallelSharder:
+    """A lazily-created process pool that shards :class:`CompactTask` batches.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``1`` short-circuits to in-process serial
+        execution (no pool is ever created).
+    chunk_size:
+        Tasks per pickled work unit.  ``None`` auto-sizes to about
+        ``len(tasks) / (workers * DEFAULT_CHUNKS_PER_WORKER)``.
+
+    The pool is created on first use and reused across batches (worker
+    startup is paid once per engine, not once per ``execute_many`` call).
+    Call :meth:`shutdown` (or use the owning engine as a context manager)
+    to release the processes early.
+    """
+
+    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+        self.fallback_reason: str | None = None
+        # Tasks of the most recent run() that actually executed in pool
+        # workers (0 when the run short-circuited in-process or fell back).
+        # The engine adds this — not the task count — to
+        # ``EngineStats.parallel_executed`` so the stat never overstates
+        # parallelism.
+        self.last_dispatched = 0
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor | None:
+        if self.fallback_reason is not None:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ValueError, RuntimeError) as exc:
+                # No /dev/shm, fork blocked, resource limits: degrade to
+                # serial in-process execution — identical results.
+                self.fallback_reason = f"{type(exc).__name__}: {exc}"
+                return None
+        return self._executor
+
+    def run(self, tasks: Sequence[CompactTask]) -> list[ExecutionResult]:
+        """Execute ``tasks`` and return results in task order."""
+        tasks = list(tasks)
+        self.last_dispatched = 0
+        if not tasks:
+            return []
+        # A single task gains nothing from IPC; the pool pays off from two.
+        if self.workers == 1 or len(tasks) == 1:
+            return [run_compact_task(task) for task in tasks]
+        pool = self._pool()
+        if pool is None:
+            return [run_compact_task(task) for task in tasks]
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, -(-len(tasks) // (self.workers * DEFAULT_CHUNKS_PER_WORKER)))
+        try:
+            results = list(pool.map(run_compact_task, tasks, chunksize=chunk))
+        except BrokenProcessPool:  # pragma: no cover - worker killed externally
+            self.shutdown()
+            self.fallback_reason = "process pool broke mid-batch"
+            return [run_compact_task(task) for task in tasks]
+        self.last_dispatched = len(tasks)
+        return results
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelSharder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -136,8 +136,8 @@ class TestGateInverse:
         product = gate.inverse().matrix @ gate.matrix
         assert np.allclose(product, np.eye(product.shape[0]))
 
-    def test_unitary_gate_inverse(self):
-        rng = np.random.default_rng(3)
+    def test_unitary_gate_inverse(self, make_rng):
+        rng = make_rng(3)
         random = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
         gate = UnitaryGate(random, name="rand")
         assert np.allclose(gate.inverse().matrix @ gate.matrix, np.eye(4))

@@ -62,8 +62,8 @@ class TestPauliAlgebra:
             phase * pauli_string_matrix(label),
         )
 
-    def test_pauli_decomposition_round_trip(self):
-        rng = np.random.default_rng(2)
+    def test_pauli_decomposition_round_trip(self, make_rng):
+        rng = make_rng(2)
         operator = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
         coefficients = decompose_in_pauli_basis(operator)
         rebuilt = sum(c * pauli_string_matrix(p) for p, c in coefficients.items())
@@ -77,8 +77,8 @@ class TestPauliAlgebra:
 class TestPreparationDecomposition:
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=25, deadline=None)
-    def test_single_qubit_round_trip(self, seed):
-        rng = np.random.default_rng(seed)
+    def test_single_qubit_round_trip(self, make_rng, seed):
+        rng = make_rng(seed)
         operator = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
         coefficients = decompose_in_preparation_basis(operator)
         rebuilt = sum(
@@ -89,8 +89,8 @@ class TestPreparationDecomposition:
         for labels in coefficients:
             assert set(labels) <= set(REDUCED_PREPARATION_LABELS)
 
-    def test_two_qubit_round_trip(self):
-        rng = np.random.default_rng(7)
+    def test_two_qubit_round_trip(self, make_rng):
+        rng = make_rng(7)
         operator = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
         coefficients = decompose_in_preparation_basis(operator)
         rebuilt = sum(

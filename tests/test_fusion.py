@@ -61,8 +61,8 @@ class TestFusedProgramStructure:
         assert len(program.operations) == 3
         assert all(not op.sites for op in program.operations)
 
-    def test_support_bound_respected(self):
-        rng = np.random.default_rng(7)
+    def test_support_bound_respected(self, make_rng):
+        rng = make_rng(7)
         qc = random_circuit(rng, 5, num_gates=40)
         for max_qubits in (1, 2, 3):
             program = fuse_circuit(qc, max_qubits=max_qubits)
@@ -129,8 +129,8 @@ class TestFusedProgramStructure:
 
 class TestFusionCorrectness:
     @pytest.mark.parametrize("num_qubits", [2, 3, 4, 5])
-    def test_ideal_state_matches_reference(self, num_qubits):
-        rng = np.random.default_rng(100 + num_qubits)
+    def test_ideal_state_matches_reference(self, num_qubits, make_rng):
+        rng = make_rng(100 + num_qubits)
         for trial in range(5):
             qc = random_circuit(rng, num_qubits, barriers=(trial % 2 == 0))
             stripped = qc.remove_final_measurements()
@@ -139,10 +139,10 @@ class TestFusionCorrectness:
             assert fused.fidelity(reference) == pytest.approx(1.0, abs=1e-10)
 
     @pytest.mark.parametrize("num_qubits", [2, 3, 4])
-    def test_noisy_distribution_matches_reference(self, num_qubits):
+    def test_noisy_distribution_matches_reference(self, num_qubits, make_rng):
         # The exact density-matrix path makes noise-site placement visible:
         # moving a channel across a gate changes the distribution.
-        rng = np.random.default_rng(200 + num_qubits)
+        rng = make_rng(200 + num_qubits)
         model = NoiseModel.depolarizing(p1=0.01, p2=0.04, readout=0.03)
         for _ in range(4):
             qc = random_circuit(rng, num_qubits)
@@ -152,13 +152,13 @@ class TestFusionCorrectness:
             for outcome in range(2**num_qubits):
                 assert fused.get(outcome) == pytest.approx(reference.get(outcome), abs=1e-10)
 
-    def test_partial_noise_site_placement(self):
+    def test_partial_noise_site_placement(self, make_rng):
         # Noise only on cx: 1q runs around each cx fuse freely, yet the
         # distribution must equal the unfused reference exactly — a noise
         # site slid across a neighbouring gate would show up here.
         model = NoiseModel()
         model.set_gate_error("cx", depolarizing_channel(0.1, 2))
-        rng = np.random.default_rng(42)
+        rng = make_rng(42)
         for _ in range(5):
             qc = random_circuit(rng, 3)
             fused, _ = noisy_distribution_density_matrix(qc, model, fusion=True)

@@ -161,10 +161,12 @@ class TestReadoutError:
         with pytest.raises(ValueError):
             ReadoutError(1.2)
 
-    def test_sampling_statistics(self):
+    def test_sampling_statistics(self, make_rng):
         error = ReadoutError(0.3, 0.0)
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         flips = sum(error.sample(0, rng) for _ in range(10000))
+        # Hoeffding: P(|mean - 0.3| >= 0.02) <= 2 exp(-2 * 10000 * 0.02^2)
+        # ~= 6.7e-4 under re-seeding; the pinned seed makes it deterministic.
         assert flips / 10000 == pytest.approx(0.3, abs=0.02)
 
 

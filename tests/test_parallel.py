@@ -1,0 +1,379 @@
+"""Process-parallel sharding and the persistent on-disk result cache.
+
+The acceptance contract for both subsystems is *bit-identity*: an
+``execute_many`` batch sharded across worker processes, or served from the
+persistent cache by a fresh engine, must return exactly the results the
+serial in-memory path produces — same probabilities, same counts, same
+measured-qubit labels.  These tests pin that contract, plus the cache's
+durability properties (versioned format, corruption tolerance, atomic
+publish, LRU size cap).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.mitigation import build_subset_circuit
+from repro.noise import NoiseModel
+from repro.simulators import (
+    CompactTask,
+    ExecutionEngine,
+    ParallelSharder,
+    PersistentResultCache,
+    execute_many,
+    run_compact_task,
+)
+from repro.simulators.cache import CACHE_FORMAT_VERSION, canonical_key_bytes
+
+
+def _pool_available() -> bool:
+    """Can this platform actually run a process pool?
+
+    ``ParallelSharder`` is documented to fall back to in-process execution
+    (bit-identical, just serial) on platforms that cannot spawn workers —
+    sandboxes without /dev/shm, restricted containers.  Assertions about
+    *dispatch counts* only make sense when a pool exists, so they skip on
+    such platforms; the bit-identity assertions run everywhere.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=1) as executor:
+            return executor.submit(int, 1).result(timeout=120) == 1
+    except Exception:
+        return False
+
+
+requires_pool = pytest.mark.skipif(
+    not _pool_available(), reason="process pools unavailable; sharder falls back in-process"
+)
+
+
+def _results_identical(a, b) -> bool:
+    return (
+        a.distribution.items() == b.distribution.items()
+        and a.measured_qubits == b.measured_qubits
+        and a.method == b.method
+        and a.shots == b.shots
+        and (a.counts is None) == (b.counts is None)
+        and (a.counts is None or a.counts.items() == b.counts.items())
+    )
+
+
+def _subset_workload(num_qubits: int = 6, repeats: int = 3) -> list[QuantumCircuit]:
+    base = QuantumCircuit(num_qubits, num_qubits)
+    for q in range(num_qubits):
+        base.h(q)
+    for q in range(num_qubits - 1):
+        base.cx(q, q + 1)
+    for q in range(num_qubits):
+        base.rz(0.1 * (q + 1), q)
+    base.measure_all()
+    subsets = [[0, 1], [2, 3], [4, 5]]
+    unique = [build_subset_circuit(base, subset) for subset in subsets]
+    return [circuit for circuit in unique for _ in range(repeats)]
+
+
+NOISE = NoiseModel.depolarizing(p1=0.005, p2=0.02, readout=0.02)
+
+
+class TestParallelBitIdentity:
+    """Acceptance: parallel results equal serial in-memory results exactly."""
+
+    @requires_pool
+    def test_density_matrix_batch(self):
+        circuits = _subset_workload()
+        serial = ExecutionEngine().execute_many(circuits, NOISE, shots=512, seed=17)
+        with ExecutionEngine(workers=4) as engine:
+            parallel = engine.execute_many(circuits, NOISE, shots=512, seed=17)
+            assert engine.stats.parallel_executed == 3  # unique circuits only
+            assert engine.stats.batch_dedup_hits == len(circuits) - 3
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    def test_trajectory_batch(self):
+        circuits = [c.compact_qubits()[0] for c in _subset_workload()]
+        serial = ExecutionEngine().execute_many(
+            circuits, NOISE, shots=256, seed=5, method="trajectory", max_trajectories=50
+        )
+        with ExecutionEngine(workers=2) as engine:
+            parallel = engine.execute_many(
+                circuits, NOISE, shots=256, seed=5, method="trajectory", max_trajectories=50
+            )
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    def test_statevector_batch(self):
+        circuits = _subset_workload()
+        serial = ExecutionEngine().execute_many(circuits, None, shots=128, seed=3)
+        with ExecutionEngine(workers=2) as engine:
+            parallel = engine.execute_many(circuits, None, shots=128, seed=3)
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    def test_exact_unsampled_batch(self):
+        circuits = _subset_workload()
+        serial = ExecutionEngine().execute_many(circuits, NOISE)
+        with ExecutionEngine(workers=2) as engine:
+            parallel = engine.execute_many(circuits, NOISE)
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    @requires_pool
+    def test_per_call_workers_override(self):
+        circuits = _subset_workload()
+        engine = ExecutionEngine()  # serial by default
+        parallel = engine.execute_many(circuits, NOISE, shots=512, seed=17, workers=2)
+        assert engine.stats.parallel_executed == 3
+        engine.close()
+        serial = ExecutionEngine().execute_many(circuits, NOISE, shots=512, seed=17)
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    def test_module_level_execute_many(self):
+        circuits = _subset_workload()
+        serial = execute_many(circuits, NOISE, shots=512, seed=17)
+        parallel = execute_many(circuits, NOISE, shots=512, seed=17, workers=2)
+        assert all(_results_identical(a, b) for a, b in zip(serial, parallel))
+
+    @requires_pool
+    def test_unseeded_requests_are_dispatched_not_cached(self):
+        circuits = _subset_workload(repeats=2)  # 3 unique x 2 occurrences
+        with ExecutionEngine(workers=2) as engine:
+            results = engine.execute_many(circuits, NOISE, shots=64)  # no seed
+            assert engine.stats.uncacheable == len(circuits)
+            # Density-matrix requests shard their *gate-noise evolution*
+            # once per unique circuit; each occurrence is finished in the
+            # parent with its own independent readout sampling (matching
+            # serial, where occurrences after the first hit the state cache).
+            assert engine.stats.parallel_executed == 3
+            assert engine.stats.executed == len(circuits)
+            # No *result* keys are cached for unseeded sampling — only the
+            # deterministic pre-readout dm-state entries (as serially).
+            assert engine.cache_len == 3
+            assert len(results) == len(circuits)
+            # Independent draws: occurrences of the same circuit should not
+            # be byte-equal in general (3 x 64 shots over 4 outcomes makes a
+            # collision astronomically unlikely but not impossible; allow
+            # equality only if all three pairs collide — i.e. never).
+            pairs = [(results[i], results[i + 1]) for i in (0, 2, 4)]
+            assert any(
+                a.counts.items() != b.counts.items() for a, b in pairs
+            )
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionEngine(workers=0)
+
+
+class TestParallelSharder:
+    def test_single_task_runs_in_process(self):
+        sharder = ParallelSharder(workers=4)
+        circuit = _subset_workload()[0].compact_qubits()[0]
+        task = CompactTask(
+            circuit=circuit, noise=NOISE, method="density_matrix",
+            shots=None, seed=1, max_trajectories=10, fusion=True,
+        )
+        result = sharder.run([task])
+        assert sharder._executor is None  # no pool for a single task
+        assert _results_identical(result[0], run_compact_task(task))
+        sharder.shutdown()
+
+    def test_chunked_map_matches_task_order(self):
+        circuits = [c.compact_qubits()[0] for c in _subset_workload(repeats=1)]
+        tasks = [
+            CompactTask(
+                circuit=circuit, noise=NOISE, method="density_matrix",
+                shots=None, seed=index, max_trajectories=10, fusion=True,
+            )
+            for index, circuit in enumerate(circuits * 2)
+        ]
+        with ParallelSharder(workers=2, chunk_size=1) as sharder:
+            outputs = sharder.run(tasks)
+        expected = [run_compact_task(task) for task in tasks]
+        assert all(_results_identical(a, b) for a, b in zip(outputs, expected))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSharder(workers=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelSharder(workers=2, chunk_size=0)
+
+
+class TestPersistentCache:
+    """Durability contract of the on-disk layer."""
+
+    def test_warm_start_across_engines(self, tmp_path):
+        circuits = _subset_workload()
+        cold = ExecutionEngine(cache_dir=str(tmp_path))
+        cold_results = cold.execute_many(circuits, NOISE, shots=512, seed=17)
+        assert cold.stats.executed == 3
+
+        warm = ExecutionEngine(cache_dir=str(tmp_path))  # fresh memory cache
+        warm_results = warm.execute_many(circuits, NOISE, shots=512, seed=17)
+        assert warm.stats.executed == 0  # nothing recomputed
+        assert warm.stats.persistent_hits == 3
+        # Acceptance: persistent-cache results are bit-identical to computed.
+        assert all(_results_identical(a, b) for a, b in zip(cold_results, warm_results))
+
+    def test_warm_start_under_parallel_engine(self, tmp_path):
+        circuits = _subset_workload()
+        with ExecutionEngine(cache_dir=str(tmp_path), workers=2) as cold:
+            cold_results = cold.execute_many(circuits, NOISE, shots=512, seed=17)
+        with ExecutionEngine(cache_dir=str(tmp_path), workers=2) as warm:
+            warm_results = warm.execute_many(circuits, NOISE, shots=512, seed=17)
+            assert warm.stats.executed == 0
+        assert all(_results_identical(a, b) for a, b in zip(cold_results, warm_results))
+
+    def test_parallel_readout_sweep_uses_state_cache(self):
+        # Regression: the parallel path must keep the readout-factored
+        # state cache — a measurement-error sweep with workers>1 evolves
+        # each circuit's gate noise once, not once per readout setting.
+        circuits = _subset_workload(repeats=1)
+        with ExecutionEngine(workers=2) as engine:
+            engine.execute_many(circuits, NOISE, shots=256, seed=9)
+            evolutions_after_first = engine.stats.parallel_executed
+            for factor in (1.5, 2.0):
+                engine.execute_many(
+                    circuits, NOISE.with_readout_scaled(factor), shots=256, seed=9
+                )
+            # Later sweep points re-apply confusion in the parent only.
+            assert engine.stats.parallel_executed == evolutions_after_first
+            assert engine.stats.state_cache_hits > 0
+
+        # And the parallel sweep matches the serial sweep bit for bit.
+        serial = ExecutionEngine()
+        with ExecutionEngine(workers=2) as parallel:
+            for factor in (1.0, 2.0):
+                model = NOISE.with_readout_scaled(factor)
+                a = serial.execute_many(circuits, model, shots=256, seed=9)
+                b = parallel.execute_many(circuits, model, shots=256, seed=9)
+                assert all(_results_identical(x, y) for x, y in zip(a, b))
+
+    def test_dm_state_entries_warm_readout_sweeps(self, tmp_path):
+        # The readout-factored density-matrix state entries persist too: a
+        # sweep over measurement-error rates in a *new* engine re-simulates
+        # no gate noise.
+        circuit = _subset_workload()[0]
+        ExecutionEngine(cache_dir=str(tmp_path)).execute(circuit, NOISE)
+        warm = ExecutionEngine(cache_dir=str(tmp_path))
+        warm.execute(circuit, NOISE.with_readout_scaled(2.0))
+        assert warm.stats.state_cache_hits == 1
+
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        key = ("fp", "noise-fp", "density_matrix", None, 7, None, None)
+        assert cache.get(key) is None
+        cache.put(key, {"payload": [1.0, 2.0]})
+        assert cache.get(key) == {"payload": [1.0, 2.0]}
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_canonical_keys_are_content_addressed(self, tmp_path):
+        # Equal tuples produce equal addresses regardless of process/py-hash
+        # salt; different tuples must not collide on repr.
+        key_a = ("fp", ("a", 1), None, True)
+        key_b = ("fp", ("a", 1), None, True)
+        assert canonical_key_bytes(key_a) == canonical_key_bytes(key_b)
+        assert canonical_key_bytes(key_a) != canonical_key_bytes(("fp", ("a", 1), None, False))
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        key = ("k",)
+        cache.put(key, "value")
+        [(path, _, _)] = list(cache._entries())
+        with open(path, "wb") as handle:
+            handle.write(b"garbage that is not a cache entry")
+        assert cache.get(key) is None  # corrupt -> miss
+        assert not os.path.exists(path)  # and the bad file is removed
+        cache.put(key, "value2")  # the slot heals
+        assert cache.get(key) == "value2"
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        key = ("k",)
+        cache.put(key, {"big": list(range(100))})
+        [(path, _, _)] = list(cache._entries())
+        payload = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        assert cache.get(key) is None
+
+    def test_format_version_is_part_of_the_path(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        assert f"v{CACHE_FORMAT_VERSION}" in cache.root
+        # A foreign/old tree next to the versioned one is never read.
+        alien = os.path.join(str(tmp_path), "v0")
+        os.makedirs(alien)
+        with open(os.path.join(alien, "x.pkl"), "wb") as handle:
+            pickle.dump("old-format", handle)
+        assert cache.get(("k",)) is None
+
+    def test_atomic_publish_leaves_no_temp_files(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        for index in range(10):
+            cache.put((index,), index)
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_lru_size_cap_evicts_oldest(self, tmp_path):
+        cache = PersistentResultCache(tmp_path, max_bytes=4096)
+        # Write far more than the cap allows in aggregate.
+        for index in range(70):
+            cache.put((index,), "x" * 256)
+        assert cache.total_bytes() <= 4096
+        assert cache.evictions > 0
+
+    def test_write_failure_is_swallowed(self, tmp_path, monkeypatch):
+        # An unusable cache directory must cost recomputation, never an
+        # exception out of a successful simulation.
+        import tempfile as tempfile_module
+
+        cache = PersistentResultCache(tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(tempfile_module, "mkstemp", refuse)
+        cache.put(("k",), "value")  # must not raise
+        assert cache.write_errors == 1
+        monkeypatch.undo()
+        assert cache.get(("k",)) is None  # nothing was stored
+        cache.put(("k",), "value")  # healthy again
+        assert cache.get(("k",)) == "value"
+
+    def test_orphaned_temp_files_are_reaped(self, tmp_path):
+        # A writer killed between mkstemp and os.replace leaves a .tmp the
+        # ordinary read/evict paths never touch; clear() and eviction reap
+        # them so crashes cannot accumulate untracked disk usage.
+        cache = PersistentResultCache(tmp_path)
+        cache.put(("a",), 1)
+        shard = os.path.dirname(cache._path(("a",)))
+        orphan = os.path.join(shard, "deadbeef.tmp")
+        with open(orphan, "wb") as handle:
+            handle.write(b"half-written entry")
+        old = 1_000_000_000  # well past any reaping age floor
+        os.utime(orphan, (old, old))
+        cache._reap_temp_files()
+        assert not os.path.exists(orphan)
+
+    def test_clear(self, tmp_path):
+        cache = PersistentResultCache(tmp_path)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        shard = os.path.dirname(cache._path(("a",)))
+        with open(os.path.join(shard, "fresh.tmp"), "wb") as handle:
+            handle.write(b"x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+        # clear() reaps temp files regardless of age.
+        assert not any(
+            name.endswith(".tmp")
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+        )

@@ -52,8 +52,8 @@ class TestEulerAngles:
         rebuilt = np.exp(1j * alpha) * rz(beta) @ ry(gamma) @ rz(delta)
         assert np.allclose(rebuilt, matrix, atol=1e-9)
 
-    def test_random_unitaries(self):
-        rng = np.random.default_rng(5)
+    def test_random_unitaries(self, make_rng):
+        rng = make_rng(5)
         for _ in range(20):
             q, _ = np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))
             alpha, beta, gamma, delta = euler_zyz_angles(q)
