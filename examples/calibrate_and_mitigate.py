@@ -1,0 +1,209 @@
+"""Calibrate a device, learn its noise model, and mitigate against it.
+
+The closed measure -> learn -> mitigate loop on the synthetic ``fake_mumbai``
+device:
+
+1. a cheap **readout-only scan** of all 27 qubits finds the patch with the
+   worst measurement errors (where mitigation matters most);
+2. a **full calibration** of that patch — readout confusion, standard +
+   interleaved randomized benchmarking, Pauli-twirled CX noise learning —
+   runs a fleet of ~350 small circuits through one shared
+   :class:`~repro.simulators.ExecutionEngine` (the readout circuits repeat
+   from stage 1, so they are served from the cache);
+3. the fitted :class:`~repro.calibration.CalibrationRecord` round-trips
+   through JSON and is assembled into a
+   :class:`~repro.calibration.LearnedDeviceModel`, compared parameter by
+   parameter against the ground-truth device;
+4. QuTracer, Jigsaw and ideal PCS then run **against the learned model**,
+   side by side with the same runs against the ground truth — showing that
+   mitigation driven purely by measured calibration behaves like mitigation
+   driven by the oracle noise.
+
+Statistical tolerances asserted by ``tests/test_examples.py`` (derived for
+the shot budgets used here; see ``tests/conftest.py`` for the bookkeeping):
+
+* per-qubit confusion entries within 0.03 of truth (binomial
+  ``sigma <= sqrt(0.25/8192) ~ 0.0055``; 0.03 is >5 sigma plus the ~1e-3
+  X-gate preparation bias);
+* median readout error within 25% relative (per-qubit relative error is
+  ~12% at mumbai's ~2% rates; the median over 27 qubits is much tighter);
+* median CX channel infidelity within 35% relative (per-pair decay-ratio
+  fits land within ~10-15%; 3 calibrated pairs);
+* median 1q channel infidelity within 60% relative (interleaved-RB
+  differences of ~1e-3-scale decays are the noisiest fit here).
+
+Note on Jigsaw: this simulator has no measurement crosstalk, so local
+subset distributions equal the global marginals exactly and Jigsaw's
+infinite-shot gain is zero (the Fig. 7 observation); its sampled gain is a
+small denoising effect, reported for the pinned seed.  PCS and QuTracer
+improvements are structural.
+
+Run with::
+
+    python examples/calibrate_and_mitigate.py
+"""
+
+import os
+import tempfile
+
+import networkx as nx
+
+from repro.algorithms import iqft_benchmark_circuit, vqe_circuit
+from repro.calibration import CalibrationRecord, CalibrationRunner, LearnedDeviceModel
+from repro.core import QuTracer
+from repro.distributions import hellinger_fidelity
+from repro.mitigation import PauliCheck, run_jigsaw, run_pcs
+from repro.noise import fake_mumbai
+from repro.simulators import ExecutionEngine, execute, ideal_distribution
+
+SEED = 11
+SHOTS = 8192
+
+
+def worst_readout_path(device, readout_by_qubit, length=4):
+    """The connected qubit chain with the largest summed readout error."""
+    graph = nx.Graph(device.coupling_edges)
+    best, best_cost = None, -1.0
+    for source in graph.nodes:
+        for path in nx.single_source_shortest_path(graph, source, cutoff=length - 1).values():
+            if len(path) != length:
+                continue
+            if not all(graph.has_edge(u, v) for u, v in zip(path, path[1:])):
+                continue
+            cost = sum(readout_by_qubit[q] for q in path)
+            if cost > best_cost:
+                best, best_cost = list(path), cost
+    return best
+
+
+def cz_region(circuit):
+    """Instruction span of the CZ entangling block (Z checks commute with it)."""
+    payload = [inst for inst in circuit.data if not inst.is_measurement]
+    positions = [i for i, inst in enumerate(payload) if inst.name == "cz"]
+    return (min(positions), max(positions) + 1)
+
+
+def run_demo() -> dict:
+    results: dict = {}
+    device = fake_mumbai()
+    engine = ExecutionEngine()
+
+    # -- stage 1: readout-only scan of the whole device -------------------
+    scan = CalibrationRunner(
+        device, rb_qubits=[], pairs=[], shots=SHOTS, seed=SEED, engine=engine
+    )
+    scan_record = scan.run()
+    readout = {q: scan_record.readout_error(q).average_error for q in range(device.num_qubits)}
+    patch = worst_readout_path(device, readout, length=4)
+    patch_edges = [tuple(sorted((u, v))) for u, v in zip(patch, patch[1:])]
+    print(f"readout scan: worst patch {patch} "
+          f"(measured readout {[round(readout[q], 3) for q in patch]})")
+
+    # -- stage 2: full calibration of the patch ---------------------------
+    runner = CalibrationRunner(
+        device,
+        qubits=range(device.num_qubits),
+        rb_qubits=patch,
+        pairs=patch_edges,
+        shots=SHOTS,
+        seed=SEED,
+        rb_samples=3,
+        engine=engine,
+    )
+    record = runner.run()
+    stats = engine.stats
+    print(f"calibration: {record.metadata['num_circuits']} circuits "
+          f"({stats.cache_hits} cache hits from the stage-1 scan), "
+          f"schema v{record.format_version}")
+
+    # -- round-trip the record and learn the device -----------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "mumbai_calibration.json")
+        record.save(path)
+        record = CalibrationRecord.load(path)
+    learned = LearnedDeviceModel.from_record(record)
+
+    report = learned.compare_to(device)
+    print("\nlearned vs ground truth (medians over each parameter's calibrated subset):")
+    for name, entry in report.items():
+        print(f"  {name:32s} learned {entry['self']:.5f}  true {entry['other']:.5f}  "
+              f"rel err {entry['relative_error']:.3f}")
+        results[f"rel_err_{name}"] = entry["relative_error"]
+
+    confusion_errors = [
+        abs(value - device.qubit_calibrations[q].readout_error)
+        for q in range(device.num_qubits)
+        for value in (
+            learned.readout_errors[q].prob_1_given_0,
+            learned.readout_errors[q].prob_0_given_1,
+        )
+    ]
+    results["max_confusion_abs_err"] = max(confusion_errors)
+    print(f"per-qubit confusion matrices: max |learned - true| = "
+          f"{results['max_confusion_abs_err']:.4f}")
+
+    # -- mitigate against the learned model vs the ground truth -----------
+    models = (("true", device), ("learned", learned))
+
+    # QuTracer: noise-aware layout + QSPC, driven by each device model.
+    iqft = iqft_benchmark_circuit(3, value=5)
+    print("\nQuTracer on the 3-qubit inverse QFT:")
+    for tag, model in models:
+        tracer = QuTracer(device=model, shots=SHOTS, shots_per_circuit=1024, seed=7)
+        outcome = tracer.run(iqft, subset_size=1)
+        results[f"qutracer_{tag}_unmitigated"] = outcome.unmitigated_fidelity
+        results[f"qutracer_{tag}_mitigated"] = outcome.mitigated_fidelity
+        print(f"  [{tag:7s}] unmitigated fidelity {outcome.unmitigated_fidelity:.4f}  "
+              f"QuTracer fidelity {outcome.mitigated_fidelity:.4f}")
+
+    # Jigsaw on the worst-readout triple (sampled; small denoising gain).
+    tri = patch[:3]
+    assignment3 = {i: q for i, q in enumerate(tri)}
+    ideal_iqft = ideal_distribution(iqft)
+    print(f"Jigsaw on the inverse QFT mapped to {tri}:")
+    for tag, model in models:
+        noise = model.noise_model_for_assignment(assignment3)
+        raw = execute(iqft, noise, shots=20000, seed=1)
+        jig = run_jigsaw(iqft, noise, shots=20000, subset_size=1, seed=1)
+        results[f"jigsaw_{tag}_unmitigated"] = hellinger_fidelity(raw.distribution, ideal_iqft)
+        results[f"jigsaw_{tag}_mitigated"] = hellinger_fidelity(
+            jig.mitigated_distribution, ideal_iqft
+        )
+        print(f"  [{tag:7s}] unmitigated fidelity {results[f'jigsaw_{tag}_unmitigated']:.4f}  "
+              f"Jigsaw fidelity {results[f'jigsaw_{tag}_mitigated']:.4f}")
+
+    # Ideal PCS around the CZ block of a VQE ansatz (exact distributions:
+    # the improvement is structural, not sampling luck).
+    vqe = vqe_circuit(4, 1, seed=2)
+    ideal_vqe = ideal_distribution(vqe)
+    region = cz_region(vqe)
+    checks = [PauliCheck(pauli={q: "Z"}, region=region) for q in range(4)]
+    assignment4 = {i: q for i, q in enumerate(patch)}
+    print("ideal PCS on a 4-qubit VQE ansatz (exact):")
+    for tag, model in models:
+        noise = model.noise_model_for_assignment(assignment4)
+        raw = execute(vqe, noise)
+        pcs = run_pcs(vqe, checks, noise, ideal_checks=True)
+        results[f"pcs_{tag}_unmitigated"] = hellinger_fidelity(raw.distribution, ideal_vqe)
+        results[f"pcs_{tag}_mitigated"] = hellinger_fidelity(
+            pcs.mitigated_distribution, ideal_vqe
+        )
+        print(f"  [{tag:7s}] unmitigated fidelity {results[f'pcs_{tag}_unmitigated']:.4f}  "
+              f"PCS fidelity {results[f'pcs_{tag}_mitigated']:.4f}")
+
+    return results
+
+
+def main() -> None:
+    results = run_demo()
+    gap = max(
+        abs(results[f"{method}_learned_{kind}"] - results[f"{method}_true_{kind}"])
+        for method in ("qutracer", "jigsaw", "pcs")
+        for kind in ("unmitigated", "mitigated")
+    )
+    print(f"\nlargest learned-vs-true fidelity gap across methods: {gap:.4f}")
+    print("the learned model is a drop-in stand-in for the ground-truth device.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Calibration & noise learning: estimate a noise model from measurements.
+
+The subsystem closes the measure -> learn -> mitigate loop: instead of
+handing the mitigation stack the ground-truth :class:`~repro.noise.NoiseModel`
+(the "oracle noise" shortcut), a :class:`CalibrationRunner` measures a
+device with readout-calibration, randomized-benchmarking and Pauli-learning
+circuits, fits the counts into a versioned :class:`CalibrationRecord`, and a
+:class:`LearnedDeviceModel` rebuilds the device API from those fits so
+QuTracer and the baselines can run against the *learned* noise.
+
+See ``docs/architecture.md`` (calibration section) for the experiment
+catalog, fitting contracts and record schema.
+"""
+
+from .experiments import (
+    PAULI_LABELS_2Q,
+    PairReadoutSpec,
+    PauliLearningSpec,
+    RBSpec,
+    ReadoutSpec,
+    clifford_1q_group,
+    pair_readout_circuits,
+    pauli_learning_circuits,
+    rb_circuits,
+    readout_calibration_circuits,
+)
+from .fitting import (
+    DecayFit,
+    average_infidelity_from_pauli_fidelities,
+    bit_frequency,
+    confusion_matrix_from_counts,
+    fit_exponential_decay,
+    interleaved_gate_error,
+    readout_error_from_counts,
+    survival_to_epc,
+)
+from .learned import CALIBRATION_FORMAT_VERSION, CalibrationRecord, LearnedDeviceModel
+from .runner import DEFAULT_PAULI_STRINGS, CalibrationRunner
+
+__all__ = [
+    "CalibrationRunner",
+    "CalibrationRecord",
+    "LearnedDeviceModel",
+    "CALIBRATION_FORMAT_VERSION",
+    "DEFAULT_PAULI_STRINGS",
+    "ReadoutSpec",
+    "PairReadoutSpec",
+    "RBSpec",
+    "PauliLearningSpec",
+    "readout_calibration_circuits",
+    "pair_readout_circuits",
+    "rb_circuits",
+    "pauli_learning_circuits",
+    "clifford_1q_group",
+    "PAULI_LABELS_2Q",
+    "DecayFit",
+    "fit_exponential_decay",
+    "readout_error_from_counts",
+    "confusion_matrix_from_counts",
+    "bit_frequency",
+    "survival_to_epc",
+    "interleaved_gate_error",
+    "average_infidelity_from_pauli_fidelities",
+]

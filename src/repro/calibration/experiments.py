@@ -1,0 +1,419 @@
+"""Calibration experiment generators: the circuits a device is measured with.
+
+Each generator plans a family of *small* circuits (the fleet workload the
+execution engine is built for) and returns spec objects that pair every
+circuit with the bookkeeping its estimator needs:
+
+* **readout calibration** — basis-state preparation circuits, per-qubit
+  (all-zeros / all-ones over a chunk of qubits) and correlated-pair
+  (all four basis states of one pair), from whose counts
+  :mod:`repro.calibration.fitting` estimates confusion matrices;
+* **randomized benchmarking (RB)** — random single-qubit Clifford sequences
+  closed by the inverting Clifford, standard and interleaved, whose survival
+  probabilities decay as ``A p^m + B``;
+* **sparse Pauli noise learning** — Pauli-twirled CX layers at varying
+  depths: prepare a Pauli eigenstate, apply ``m`` twirled layers, rotate the
+  ideally-evolved Pauli back to the computational basis and measure its
+  expectation, which decays as ``A f^m``.  Reference (twirl-only) circuits
+  share the *same* twirl draws as their interleaved partners, so the ratio
+  of the two fitted decays isolates the CX channel from the twirl gates'
+  own noise (a paired design, like interleaved RB).
+
+All sign/basis bookkeeping is done by explicit 2x2/4x4 matrix conjugation
+(circuits this small make symbolic tableaus unnecessary), with the same
+little-endian wire convention the simulators use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, pauli_matrix, standard_gate
+
+__all__ = [
+    "ReadoutSpec",
+    "PairReadoutSpec",
+    "RBSpec",
+    "PauliLearningSpec",
+    "readout_calibration_circuits",
+    "pair_readout_circuits",
+    "rb_circuits",
+    "pauli_learning_circuits",
+    "clifford_1q_group",
+    "PAULI_LABELS_2Q",
+]
+
+#: All 15 non-identity two-qubit Pauli labels; ``label[i]`` acts on the
+#: i-th qubit of the probed pair.
+PAULI_LABELS_2Q = tuple(
+    "".join(p) for p in itertools.product("IXYZ", repeat=2) if "".join(p) != "II"
+)
+
+# CX with control on pair qubit 0, target on pair qubit 1, in the internal
+# little-endian convention (basis index = b0 + 2*b1).
+_CX_MATRIX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=complex,
+)
+
+
+@functools.lru_cache(maxsize=16)
+def _pauli_matrix_2q(label: str) -> np.ndarray:
+    # The circuits-layer helper shares the convention needed here (label[0]
+    # acts on the pair's qubit 0, i.e. the fast index).  Cached because
+    # _match_pauli_2q scans all 16 per circuit built; treat as read-only.
+    return pauli_matrix(label)
+
+
+def _match_pauli_2q(matrix: np.ndarray) -> tuple[str, float]:
+    """Identify ``matrix`` as ``sign * P`` for a canonical 2-qubit Pauli."""
+    for label in itertools.product("IXYZ", repeat=2):
+        text = "".join(label)
+        overlap = np.trace(_pauli_matrix_2q(text).conj().T @ matrix) / 4.0
+        if abs(abs(overlap) - 1.0) < 1e-9:
+            if abs(overlap.imag) > 1e-9:  # pragma: no cover - bookkeeping bug
+                raise RuntimeError(f"non-real Pauli phase {overlap} for {text}")
+            return text, float(np.sign(overlap.real))
+    raise RuntimeError("matrix is not proportional to a Pauli")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# The single-qubit Clifford group
+# ---------------------------------------------------------------------------
+
+
+def _canonical_key(matrix: np.ndarray) -> bytes:
+    """Hashable form of a 2x2 unitary modulo global phase."""
+    flat = matrix.ravel()
+    pivot = flat[np.argmax(np.abs(flat) > 1e-9)]
+    normalized = matrix * (np.conj(pivot) / abs(pivot))
+    # `+ 0.0` collapses IEEE -0.0 onto +0.0 so byte keys are phase-stable.
+    return (np.round(normalized, 6) + 0.0).tobytes()
+
+
+@functools.lru_cache(maxsize=1)
+def clifford_1q_group() -> tuple[tuple[tuple[str, ...], np.ndarray], ...]:
+    """The 24-element single-qubit Clifford group (modulo phase).
+
+    Each element is ``(gate_names, matrix)`` where ``gate_names`` is a
+    shortest product of ``h``/``s`` generators building it (BFS order), so RB
+    sequences compile to the same primitive set the device models attach
+    noise to.  The identity element has an empty gate list.
+    """
+    generators = {name: standard_gate(name).matrix for name in ("h", "s")}
+    identity = np.eye(2, dtype=complex)
+    elements: dict[bytes, tuple[tuple[str, ...], np.ndarray]] = {
+        _canonical_key(identity): ((), identity)
+    }
+    frontier = [((), identity)]
+    while frontier:
+        next_frontier = []
+        for names, matrix in frontier:
+            for gate_name, gate_matrix in generators.items():
+                product = gate_matrix @ matrix
+                key = _canonical_key(product)
+                if key not in elements:
+                    entry = (names + (gate_name,), product)
+                    elements[key] = entry
+                    next_frontier.append(entry)
+        frontier = next_frontier
+    group = tuple(elements.values())
+    if len(group) != 24:  # pragma: no cover - generation bug
+        raise RuntimeError(f"expected 24 Cliffords, generated {len(group)}")
+    return group
+
+
+@functools.lru_cache(maxsize=1)
+def _clifford_lookup() -> dict[bytes, tuple[str, ...]]:
+    """Canonical key -> gate names for every group element."""
+    return {_canonical_key(matrix): names for names, matrix in clifford_1q_group()}
+
+
+def _clifford_inverse(matrix: np.ndarray) -> tuple[str, ...]:
+    """Gate names of the group element equal to ``matrix``:sup:`-1` mod phase."""
+    names = _clifford_lookup().get(_canonical_key(matrix.conj().T))
+    if names is None:  # pragma: no cover - bookkeeping bug
+        raise RuntimeError("inverse is not in the Clifford group")
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Spec containers
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ReadoutSpec:
+    """One basis-state preparation circuit over a chunk of qubits."""
+
+    circuit: QuantumCircuit
+    qubits: list[int]
+    prepared_bit: int  # 0 => all qubits in |0>, 1 => all in |1>
+
+
+@dataclasses.dataclass
+class PairReadoutSpec:
+    """One of the four basis states of a correlated-readout pair.
+
+    ``pattern`` bit ``i`` is the prepared state of ``pair[i]``; the circuit
+    measures ``pair[i]`` into clbit ``i``, so outcome bit ``i`` of the
+    result corresponds to ``pair[i]`` as well.
+    """
+
+    circuit: QuantumCircuit
+    pair: tuple[int, int]
+    pattern: int
+
+
+@dataclasses.dataclass
+class RBSpec:
+    """One randomized-benchmarking sequence on one qubit."""
+
+    circuit: QuantumCircuit
+    qubit: int
+    length: int
+    sample: int
+    interleaved_gate: str | None
+    num_gates: int  # primitive gates in the m Cliffords (excl. inverse)
+
+
+@dataclasses.dataclass
+class PauliLearningSpec:
+    """One Pauli-decay circuit on one CX pair.
+
+    ``sign * <parity over parity_bits>`` estimates the ideally-evolved
+    Pauli's expectation, which is 1 without noise and decays as ``A f^m``.
+    Reference (``interleaved=False``) circuits share their twirl draws with
+    the interleaved partner of the same ``(pauli, depth, sample)``.
+    """
+
+    circuit: QuantumCircuit
+    pair: tuple[int, int]
+    pauli: str
+    depth: int
+    sample: int
+    interleaved: bool
+    sign: float
+    parity_bits: list[int]
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+
+def readout_calibration_circuits(
+    qubits: Sequence[int],
+    num_qubits: int,
+    chunk_size: int = 6,
+) -> list[ReadoutSpec]:
+    """All-zeros / all-ones preparation circuits over chunks of ``qubits``.
+
+    Chunking keeps every circuit within the exact density-matrix width after
+    idle-wire compaction (a 27- or 127-qubit device is never simulated at
+    full width).  Two circuits per chunk estimate both columns of every
+    per-qubit confusion matrix; the ``X`` gates preparing ``|1>`` carry their
+    own gate noise, which biases ``p(0|1)`` upward by roughly the 1q channel
+    infidelity (~1e-3, documented and negligible next to ~1e-2 readout).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    ordered = sorted({int(q) for q in qubits})
+    specs: list[ReadoutSpec] = []
+    for start in range(0, len(ordered), chunk_size):
+        chunk = ordered[start : start + chunk_size]
+        for prepared_bit in (0, 1):
+            circuit = QuantumCircuit(num_qubits, name=f"readout_{chunk[0]}_{prepared_bit}")
+            if prepared_bit == 1:
+                for q in chunk:
+                    circuit.x(q)
+            circuit.measure_subset(chunk)
+            specs.append(ReadoutSpec(circuit=circuit, qubits=list(chunk), prepared_bit=prepared_bit))
+    return specs
+
+
+def pair_readout_circuits(
+    pairs: Iterable[tuple[int, int]],
+    num_qubits: int,
+) -> list[PairReadoutSpec]:
+    """The four basis states of every pair, for correlated confusion matrices."""
+    specs: list[PairReadoutSpec] = []
+    for pair in pairs:
+        a, b = (int(pair[0]), int(pair[1]))
+        if a == b:
+            raise ValueError("a pair needs two distinct qubits")
+        for pattern in range(4):
+            circuit = QuantumCircuit(num_qubits, 2, name=f"pair_readout_{a}_{b}_{pattern}")
+            if pattern & 1:
+                circuit.x(a)
+            if pattern & 2:
+                circuit.x(b)
+            circuit.measure(a, 0)
+            circuit.measure(b, 1)
+            specs.append(PairReadoutSpec(circuit=circuit, pair=(a, b), pattern=pattern))
+    return specs
+
+
+def rb_circuits(
+    qubit: int,
+    lengths: Sequence[int],
+    samples: int,
+    rng: np.random.Generator,
+    num_qubits: int,
+    interleaved_gate: str | None = None,
+) -> list[RBSpec]:
+    """Standard or interleaved RB sequences on one qubit.
+
+    Each circuit applies ``m`` uniformly random Cliffords (compiled to
+    ``h``/``s`` primitives), optionally interleaving ``interleaved_gate``
+    after each, then the single Clifford inverting the whole sequence, and
+    measures the qubit.  Ideal survival probability is exactly 1; under
+    noise it decays as ``A p^m + B``.
+    """
+    group = clifford_1q_group()
+    interleaved_matrix = (
+        standard_gate(interleaved_gate).matrix if interleaved_gate is not None else None
+    )
+    specs: list[RBSpec] = []
+    for length in lengths:
+        if length < 1:
+            raise ValueError("RB lengths must be positive")
+        for sample in range(samples):
+            circuit = QuantumCircuit(
+                num_qubits, 1, name=f"rb_{qubit}_m{length}_s{sample}"
+            )
+            composed = np.eye(2, dtype=complex)
+            num_gates = 0
+            for _ in range(length):
+                names, matrix = group[int(rng.integers(len(group)))]
+                for name in names:
+                    circuit.append(standard_gate(name), (qubit,))
+                num_gates += len(names)
+                composed = matrix @ composed
+                if interleaved_gate is not None:
+                    circuit.append(standard_gate(interleaved_gate), (qubit,))
+                    composed = interleaved_matrix @ composed
+            for name in _clifford_inverse(composed):
+                circuit.append(standard_gate(name), (qubit,))
+            circuit.measure(qubit, 0)
+            specs.append(
+                RBSpec(
+                    circuit=circuit,
+                    qubit=int(qubit),
+                    length=int(length),
+                    sample=sample,
+                    interleaved_gate=interleaved_gate,
+                    num_gates=num_gates,
+                )
+            )
+    return specs
+
+
+def pauli_learning_circuits(
+    pair: tuple[int, int],
+    paulis: Sequence[str],
+    depths: Sequence[int],
+    samples: int,
+    rng: np.random.Generator,
+    num_qubits: int,
+) -> list[PauliLearningSpec]:
+    """Twirled-CX Pauli-decay circuits (interleaved + paired reference).
+
+    For every ``(pauli, depth, sample)`` one twirl sequence is drawn and two
+    circuits are built from it: the *interleaved* circuit applies
+    ``twirl; CX`` per layer, the *reference* circuit applies only the twirl.
+    The interleaved/reference decay-rate ratio is the CX channel's
+    (orbit-averaged) Pauli fidelity — twirl-gate noise and SPAM cancel.
+    """
+    a, b = (int(pair[0]), int(pair[1]))
+    if a == b:
+        raise ValueError("a pair needs two distinct qubits")
+    for label in paulis:
+        if len(label) != 2 or any(ch not in "IXYZ" for ch in label) or label == "II":
+            raise ValueError(f"invalid 2-qubit Pauli label {label!r}")
+    specs: list[PauliLearningSpec] = []
+    for label in paulis:
+        for depth in depths:
+            if depth < 1:
+                raise ValueError("Pauli-learning depths must be positive")
+            for sample in range(samples):
+                twirls = rng.integers(0, 4, size=(int(depth), 2))
+                for interleaved in (True, False):
+                    specs.append(
+                        _build_pauli_learning_circuit(
+                            (a, b), label, twirls, sample, interleaved, num_qubits
+                        )
+                    )
+    return specs
+
+
+def _build_pauli_learning_circuit(
+    pair: tuple[int, int],
+    label: str,
+    twirls: np.ndarray,
+    sample: int,
+    interleaved: bool,
+    num_qubits: int,
+) -> PauliLearningSpec:
+    a, b = pair
+    depth = len(twirls)
+    tag = "cx" if interleaved else "ref"
+    circuit = QuantumCircuit(
+        num_qubits, 2, name=f"pauli_{tag}_{a}_{b}_{label}_m{depth}_s{sample}"
+    )
+    # Prepare the +1 eigenstate of ``label`` (qubits with an I letter stay
+    # in |0>; the identity factor contributes expectation 1 regardless).
+    for position, letter in enumerate(label):
+        qubit = pair[position]
+        if letter == "X":
+            circuit.h(qubit)
+        elif letter == "Y":
+            circuit.h(qubit)
+            circuit.s(qubit)
+    # Twirled layers, tracking the ideal layer unitary for the Heisenberg
+    # picture (prep/measure rotations are excluded on purpose: their noise
+    # lands in the fitted SPAM amplitude, not the decay rate).
+    evolution = np.eye(4, dtype=complex)
+    for layer in range(depth):
+        for position in (0, 1):
+            letter = "IXYZ"[int(twirls[layer][position])]
+            if letter != "I":
+                circuit.append(standard_gate(letter.lower()), (pair[position],))
+                embedded = letter + "I" if position == 0 else "I" + letter
+                evolution = _pauli_matrix_2q(embedded) @ evolution
+        if interleaved:
+            circuit.cx(a, b)
+            evolution = _CX_MATRIX @ evolution
+    evolved = evolution @ _pauli_matrix_2q(label) @ evolution.conj().T
+    out_label, sign = _match_pauli_2q(evolved)
+    # Rotate the evolved Pauli into the computational basis and measure.
+    for position, letter in enumerate(out_label):
+        qubit = pair[position]
+        if letter == "X":
+            circuit.h(qubit)
+        elif letter == "Y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+    circuit.measure(a, 0)
+    circuit.measure(b, 1)
+    parity_bits = [position for position, letter in enumerate(out_label) if letter != "I"]
+    return PauliLearningSpec(
+        circuit=circuit,
+        pair=pair,
+        pauli=label,
+        depth=depth,
+        sample=sample,
+        interleaved=interleaved,
+        sign=sign,
+        parity_bits=parity_bits,
+    )

@@ -1,0 +1,280 @@
+"""Estimators that turn measured ``Counts`` into noise-model parameters.
+
+The contracts, shared with ``docs/architecture.md``:
+
+* **confusion estimators** take raw counts of basis-state preparation
+  circuits and return empirical (joint) confusion matrices or
+  :class:`~repro.noise.ReadoutError` objects with binomial standard errors;
+* **decay fits** solve the separable least-squares problem
+  ``y = a * p**m (+ b)``: for any fixed rate ``p`` the amplitude/offset are
+  linear, so the 1-D profile over ``p`` is scanned on a grid and refined by
+  golden-section search — no external optimizer, deterministic, and immune
+  to the log-transform bias of naive linearization.  Standard errors come
+  from the usual linearized covariance ``sigma^2 (J^T J)^{-1}``;
+* **RB / Pauli conversions** map fitted rates to error rates using the
+  repository's depolarizing conventions (``d = 2**n``): EPC
+  ``(d-1)/d * (1-p)``, interleaved gate error ``(d-1)/d * (1 - p_int/p_ref)``,
+  and Pauli-fidelity averages through the entanglement-fidelity identity
+  ``F_e = (1 + sum_P f_P) / d**2`` — numerically consistent with
+  :meth:`~repro.noise.KrausChannel.average_gate_fidelity` and
+  :func:`~repro.noise.depolarizing_from_average_infidelity` (tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..distributions import Counts
+from ..noise import ReadoutError
+
+__all__ = [
+    "DecayFit",
+    "fit_exponential_decay",
+    "readout_error_from_counts",
+    "confusion_matrix_from_counts",
+    "bit_frequency",
+    "survival_to_epc",
+    "interleaved_gate_error",
+    "average_infidelity_from_pauli_fidelities",
+]
+
+
+def bit_frequency(counts: Counts, bit: int, value: int = 1) -> float:
+    """Fraction of shots whose outcome has ``bit`` equal to ``value``."""
+    shots = counts.shots
+    if shots == 0:
+        raise ValueError("counts are empty")
+    matching = sum(n for outcome, n in counts.items() if (outcome >> bit) & 1 == value)
+    return matching / shots
+
+
+def readout_error_from_counts(
+    prep_zero: Counts, prep_one: Counts, bit_zero: int, bit_one: int | None = None
+) -> tuple[ReadoutError, float]:
+    """Per-qubit confusion from one prep-|0> and one prep-|1> experiment.
+
+    ``bit_zero`` / ``bit_one`` locate the qubit inside each experiment's
+    outcome bits (they may differ when the two circuits measured different
+    registers).  Returns the estimated :class:`~repro.noise.ReadoutError`
+    and the larger of the two binomial standard errors
+    ``sqrt(p(1-p)/shots)``.
+    """
+    if bit_one is None:
+        bit_one = bit_zero
+    p10 = bit_frequency(prep_zero, bit_zero, value=1)
+    p01 = bit_frequency(prep_one, bit_one, value=0)
+    stderr = max(
+        np.sqrt(p10 * (1.0 - p10) / prep_zero.shots),
+        np.sqrt(p01 * (1.0 - p01) / prep_one.shots),
+    )
+    return ReadoutError(p10, p01), float(stderr)
+
+
+def confusion_matrix_from_counts(
+    counts_by_pattern: Mapping[int, Counts], bits: Sequence[int]
+) -> np.ndarray:
+    """Empirical assignment matrix ``M[measured, actual]`` over ``bits``.
+
+    ``counts_by_pattern[a]`` holds the counts measured after preparing basis
+    state ``a`` (bit ``i`` of ``a`` is the prepared state of the qubit read
+    out at outcome bit ``bits[i]``).  Column ``a`` of the result is that
+    experiment's empirical distribution, so the matrix is column-stochastic
+    by construction and directly comparable to
+    :func:`~repro.noise.joint_confusion_matrix`.
+    """
+    bits = list(bits)
+    dim = 2 ** len(bits)
+    matrix = np.zeros((dim, dim))
+    for pattern in range(dim):
+        if pattern not in counts_by_pattern:
+            raise ValueError(f"missing counts for preparation pattern {pattern}")
+        counts = counts_by_pattern[pattern]
+        shots = counts.shots
+        if shots == 0:
+            raise ValueError(f"counts for pattern {pattern} are empty")
+        for outcome, n in counts.items():
+            measured = 0
+            for i, bit in enumerate(bits):
+                if (outcome >> bit) & 1:
+                    measured |= 1 << i
+            matrix[measured, pattern] += n / shots
+    return matrix
+
+
+@dataclasses.dataclass
+class DecayFit:
+    """Least-squares fit of ``y = amplitude * rate**m + offset``."""
+
+    amplitude: float
+    offset: float
+    rate: float
+    rate_stderr: float
+    residual_rms: float
+
+    def confidence_interval(self, sigmas: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation interval on the decay rate (default 95%)."""
+        return (self.rate - sigmas * self.rate_stderr, self.rate + sigmas * self.rate_stderr)
+
+
+def fit_exponential_decay(
+    lengths: Sequence[float],
+    values: Sequence[float],
+    fixed_offset: float | None = None,
+    rate_bounds: tuple[float, float] = (1e-6, 1.0),
+) -> DecayFit:
+    """Fit ``y = a * p**m (+ b)`` by profiled linear least squares.
+
+    ``fixed_offset`` pins ``b`` (Pauli decays have no floor: twirled
+    expectations decay to 0, so they pass ``fixed_offset=0.0``; RB survival
+    floats ``b`` and typically finds ~1/2).  The rate is profiled: for each
+    candidate ``p`` the linear parameters solve in closed form, the sum of
+    squared residuals is scanned on a 256-point grid over ``rate_bounds``
+    (geometric in ``1 - p``, so rates just under 1 are finely resolved) and
+    the bracket around the minimum is refined by golden-section search.
+    """
+    m = np.asarray(lengths, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if m.shape != y.shape or m.size < 2:
+        raise ValueError("need at least two (length, value) points of equal shape")
+    lo, hi = rate_bounds
+    if not 0.0 < lo < hi <= 1.0:
+        raise ValueError("rate_bounds must satisfy 0 < lo < hi <= 1")
+
+    def solve_linear(p: float) -> tuple[float, float, float]:
+        basis = p**m
+        if fixed_offset is None:
+            design = np.column_stack([basis, np.ones_like(basis)])
+            target = y
+        else:
+            design = basis[:, None]
+            target = y - fixed_offset
+        coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+        a = float(coeffs[0])
+        b = float(coeffs[1]) if fixed_offset is None else float(fixed_offset)
+        residuals = y - (a * basis + b)
+        return a, b, float(residuals @ residuals)
+
+    # Vectorized SSE of the profile: closed-form normal equations for every
+    # candidate rate at once (the 1- or 2-parameter linear subproblem needs
+    # no SVD).  `solve_linear` above stays the single reference used for the
+    # *final* parameter extraction; this fast path only has to rank rates,
+    # and falls back to the exact degenerate solution (a = 0) when the basis
+    # column is numerically collinear with the offset column (p -> 1).
+    n = float(m.size)
+    s_1y = float(y.sum())
+    s_yy = float(y @ y)
+
+    def profile_sse(rates: np.ndarray) -> np.ndarray:
+        basis = rates[:, None] ** m[None, :]
+        s_bb = np.einsum("ij,ij->i", basis, basis)
+        if fixed_offset is None:
+            s_b1 = basis.sum(axis=1)
+            s_by = basis @ y
+            det = s_bb * n - s_b1**2
+            safe = det > 1e-12 * np.maximum(s_bb * n, 1.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                a = np.where(safe, (s_by * n - s_b1 * s_1y) / det, 0.0)
+                b = np.where(safe, (s_bb * s_1y - s_b1 * s_by) / det, s_1y / n)
+            # At the normal-equation optimum SSE = y.y - a s_by - b s_1y;
+            # the degenerate branch (a = 0, b = mean) is computed directly.
+            sse = np.where(safe, s_yy - a * s_by - b * s_1y, s_yy - s_1y**2 / n)
+        else:
+            t = y - fixed_offset
+            s_bt = basis @ t
+            with np.errstate(divide="ignore", invalid="ignore"):
+                a = np.where(s_bb > 0.0, s_bt / s_bb, 0.0)
+            sse = (t @ t) - a * s_bt
+        return np.maximum(sse, 0.0)
+
+    # Decay rates of interest cluster just under 1 (RB p ~ 0.99x), so the
+    # scan is geometric in (1 - p): uniform resolution per decade of error
+    # rate instead of a single grid point covering [0.996, 1].
+    grid = np.sort(1.0 - np.geomspace(max(1.0 - hi, 1e-9), 1.0 - lo, 256))
+    sse = profile_sse(grid)
+    best = int(np.argmin(sse))
+    left = grid[max(best - 1, 0)]
+    right = grid[min(best + 1, len(grid) - 1)]
+    # Golden-section refinement of the bracket.
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    x1 = right - inv_phi * (right - left)
+    x2 = left + inv_phi * (right - left)
+    f1, f2 = profile_sse(np.array([x1, x2]))
+    for _ in range(60):
+        if right - left < 1e-10:
+            break
+        if f1 <= f2:
+            right, x2, f2 = x2, x1, f1
+            x1 = right - inv_phi * (right - left)
+            f1 = float(profile_sse(np.array([x1]))[0])
+        else:
+            left, x1, f1 = x1, x2, f2
+            x2 = left + inv_phi * (right - left)
+            f2 = float(profile_sse(np.array([x2]))[0])
+    p = float((left + right) / 2.0)
+    a, b, sse_best = solve_linear(p)
+
+    # Linearized covariance: J columns are d/da, (d/db,) d/dp.
+    columns = [p**m]
+    if fixed_offset is None:
+        columns.append(np.ones_like(m))
+    columns.append(a * m * p ** np.maximum(m - 1, 0.0))
+    jacobian = np.column_stack(columns)
+    dof = max(m.size - jacobian.shape[1], 1)
+    sigma2 = sse_best / dof
+    covariance = sigma2 * np.linalg.pinv(jacobian.T @ jacobian)
+    rate_stderr = float(np.sqrt(max(covariance[-1, -1], 0.0)))
+    return DecayFit(
+        amplitude=a,
+        offset=b,
+        rate=p,
+        rate_stderr=rate_stderr,
+        residual_rms=float(np.sqrt(sse_best / m.size)),
+    )
+
+
+def survival_to_epc(rate: float, num_qubits: int = 1) -> float:
+    """RB decay rate -> error per Clifford, ``(d-1)/d * (1 - p)``."""
+    d = 2.0**num_qubits
+    return max((d - 1.0) / d * (1.0 - rate), 0.0)
+
+
+def interleaved_gate_error(
+    reference_rate: float, interleaved_rate: float, num_qubits: int = 1
+) -> float:
+    """Interleaved-RB gate error, ``(d-1)/d * (1 - p_int / p_ref)``.
+
+    The ratio is clipped to [0, 1] so sampling noise on a near-ideal gate
+    cannot produce a negative error rate.
+    """
+    if reference_rate <= 0.0:
+        raise ValueError("reference decay rate must be positive")
+    d = 2.0**num_qubits
+    ratio = min(max(interleaved_rate / reference_rate, 0.0), 1.0)
+    return (d - 1.0) / d * (1.0 - ratio)
+
+
+def average_infidelity_from_pauli_fidelities(
+    fidelities: Mapping[str, float] | Sequence[float], num_qubits: int = 2
+) -> float:
+    """Average gate infidelity of a Pauli channel from (a subset of) its
+    Pauli fidelities.
+
+    With every non-identity fidelity known, ``F_e = (1 + sum f_P) / d**2``
+    is exact.  With a *sparse* probe subset the mean fidelity stands in for
+    all ``d**2 - 1`` non-identity terms — exact for depolarizing-dominated
+    noise (all fidelities equal), an orbit-averaged approximation otherwise.
+    Returns ``1 - (d F_e + 1) / (d + 1)``, clipped to [0, 1].
+    """
+    values = np.asarray(
+        list(fidelities.values()) if isinstance(fidelities, Mapping) else list(fidelities),
+        dtype=float,
+    )
+    if values.size == 0:
+        raise ValueError("at least one Pauli fidelity is required")
+    d = 2.0**num_qubits
+    entanglement_fidelity = (1.0 + (d**2 - 1.0) * float(np.mean(values))) / d**2
+    infidelity = 1.0 - (d * entanglement_fidelity + 1.0) / (d + 1.0)
+    return float(min(max(infidelity, 0.0), 1.0))

@@ -1,0 +1,294 @@
+"""Learned device models: calibration fits assembled into the device API.
+
+A :class:`CalibrationRecord` is the versioned, JSON-serializable artifact a
+:class:`~repro.calibration.CalibrationRunner` produces — per-qubit readout
+confusion and RB fits, per-pair Pauli-learning fits, plus the provenance a
+reader needs to trust or reproduce it (schema version, seed, shot budget,
+timestamps, engine statistics).  It round-trips to disk losslessly.
+
+A :class:`LearnedDeviceModel` rebuilds a
+:class:`~repro.noise.DeviceModel` from such a record, so everything that
+accepts a device — :class:`~repro.core.QuTracer`'s noise-aware remapping,
+``noise_model_for_assignment``, the mitigation entry points via
+:func:`~repro.noise.as_noise_model` — runs against the *learned* noise
+instead of the ground truth.  Two modelling choices, both documented in
+``docs/architecture.md``:
+
+* learned gate errors are **total channel infidelities** (what RB and Pauli
+  learning can observe), so relaxation is folded into the depolarizing
+  rates and the stored T1/T2 are an effectively-infinite sentinel rather
+  than measured values;
+* learned readout is the full **asymmetric** confusion matrix per qubit
+  (the base class's symmetric scalar keeps only the average).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..noise import DeviceModel, EdgeCalibration, QubitCalibration, ReadoutError
+
+__all__ = ["CALIBRATION_FORMAT_VERSION", "CalibrationRecord", "LearnedDeviceModel"]
+
+#: Schema version written into every record; bump on incompatible changes.
+CALIBRATION_FORMAT_VERSION = 1
+
+# T1/T2 sentinel (ns) making thermal relaxation negligible: measured decays
+# already include relaxation, so the learned channels must not add it twice.
+_LEARNED_T1_NS = 1e15
+
+# Nominal gate durations (ns) carried for completeness; with the T1 sentinel
+# they do not influence the learned channels.
+_NOMINAL_SQ_GATE_TIME_NS = 35.56
+_NOMINAL_TQ_GATE_TIME_NS = 426.667
+
+
+@dataclasses.dataclass
+class CalibrationRecord:
+    """Everything one calibration run measured, plus its provenance.
+
+    ``qubits`` maps qubit -> per-qubit fits (``readout``, ``rb``,
+    ``interleaved_rb``, ``gate_error``); ``pairs`` maps a coupler ->
+    per-pair fits (``pauli_fidelities``, ``cx_error``, optionally
+    ``joint_confusion``).  The exact schema is documented in
+    ``docs/architecture.md`` and guarded by :meth:`from_dict`'s version
+    check.
+    """
+
+    device_name: str
+    num_qubits: int
+    coupling_edges: list[tuple[int, int]]
+    created_at: str
+    seed: int
+    shots: int
+    qubits: dict[int, dict[str, Any]]
+    pairs: dict[tuple[int, int], dict[str, Any]]
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+    format_version: int = CALIBRATION_FORMAT_VERSION
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (string keys, lists instead of tuples)."""
+        return {
+            "format_version": self.format_version,
+            "device_name": self.device_name,
+            "num_qubits": self.num_qubits,
+            "coupling_edges": [list(edge) for edge in self.coupling_edges],
+            "created_at": self.created_at,
+            "seed": self.seed,
+            "shots": self.shots,
+            "qubits": {str(q): data for q, data in self.qubits.items()},
+            "pairs": {f"{a}-{b}": data for (a, b), data in self.pairs.items()},
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CalibrationRecord":
+        version = data.get("format_version")
+        if version != CALIBRATION_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported calibration record version {version!r} "
+                f"(this reader supports {CALIBRATION_FORMAT_VERSION})"
+            )
+        pairs: dict[tuple[int, int], dict[str, Any]] = {}
+        for key, value in data.get("pairs", {}).items():
+            a, b = key.split("-")
+            pairs[(int(a), int(b))] = dict(value)
+        return cls(
+            device_name=str(data["device_name"]),
+            num_qubits=int(data["num_qubits"]),
+            coupling_edges=[tuple(int(q) for q in edge) for edge in data["coupling_edges"]],
+            created_at=str(data["created_at"]),
+            seed=int(data["seed"]),
+            shots=int(data["shots"]),
+            qubits={int(q): dict(v) for q, v in data.get("qubits", {}).items()},
+            pairs=pairs,
+            metadata=dict(data.get("metadata", {})),
+            format_version=int(version),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the record as JSON (atomic rename, like the result cache)."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w") as handle:
+            handle.write(payload)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str) -> "CalibrationRecord":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- convenience views --------------------------------------------------
+
+    @property
+    def calibrated_qubits(self) -> list[int]:
+        return sorted(self.qubits)
+
+    @property
+    def calibrated_pairs(self) -> list[tuple[int, int]]:
+        return sorted(self.pairs)
+
+    def readout_error(self, qubit: int) -> ReadoutError | None:
+        data = self.qubits.get(int(qubit), {}).get("readout")
+        if data is None:
+            return None
+        return ReadoutError(float(data["prob_1_given_0"]), float(data["prob_0_given_1"]))
+
+    def gate_error(self, qubit: int) -> float | None:
+        value = self.qubits.get(int(qubit), {}).get("gate_error")
+        return None if value is None else float(value)
+
+    def cx_error(self, pair: Sequence[int]) -> float | None:
+        key = tuple(sorted(int(q) for q in pair))
+        value = self.pairs.get(key, {}).get("cx_error")
+        return None if value is None else float(value)
+
+
+class LearnedDeviceModel(DeviceModel):
+    """A :class:`~repro.noise.DeviceModel` reconstructed from measurements.
+
+    Behaves exactly like a reference device everywhere one is accepted
+    (noise-model derivation, noise-aware layout, per-assignment remapping)
+    while carrying its :class:`CalibrationRecord` for provenance and
+    reporting.  Qubits or couplers the record did not calibrate fall back
+    to the *median of the learned values* (a fresh calibration of a wider
+    region refines them); :meth:`compare_to` therefore restricts each
+    parameter to the subset that actually carries the corresponding fit.
+    """
+
+    def __init__(
+        self,
+        record: CalibrationRecord,
+        qubit_calibrations: dict[int, QubitCalibration],
+        edge_calibrations: dict[tuple[int, int], EdgeCalibration],
+        readout_errors: dict[int, ReadoutError],
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            name=name or f"learned_{record.device_name}",
+            num_qubits=record.num_qubits,
+            coupling_edges=record.coupling_edges,
+            qubit_calibrations=qubit_calibrations,
+            edge_calibrations=edge_calibrations,
+        )
+        self.record = record
+        self.readout_errors = dict(readout_errors)
+
+    @classmethod
+    def from_record(cls, record: CalibrationRecord, name: str | None = None) -> "LearnedDeviceModel":
+        """Assemble the learned device from a calibration record.
+
+        Gate errors are taken as measured channel infidelities (interleaved
+        RB for 1q, Pauli learning for CX) and become pure depolarizing
+        channels via the T1/T2 sentinel.
+        """
+        gate_errors = {
+            q: error
+            for q in record.qubits
+            if (error := record.gate_error(q)) is not None
+        }
+        readout_errors = {
+            q: error
+            for q in record.qubits
+            if (error := record.readout_error(q)) is not None
+        }
+        cx_errors = {
+            pair: error
+            for pair in record.pairs
+            if (error := record.cx_error(pair)) is not None
+        }
+        default_gate_error = float(np.median(list(gate_errors.values()))) if gate_errors else 0.0
+        default_readout = (
+            float(np.median([e.average_error for e in readout_errors.values()]))
+            if readout_errors
+            else 0.0
+        )
+        default_cx_error = float(np.median(list(cx_errors.values()))) if cx_errors else 0.0
+
+        qubit_calibrations: dict[int, QubitCalibration] = {}
+        for qubit in range(record.num_qubits):
+            readout = readout_errors.get(qubit)
+            qubit_calibrations[qubit] = QubitCalibration(
+                t1=_LEARNED_T1_NS,
+                t2=_LEARNED_T1_NS,
+                readout_error=readout.average_error if readout is not None else default_readout,
+                sq_error=gate_errors.get(qubit, default_gate_error),
+                sq_gate_time=_NOMINAL_SQ_GATE_TIME_NS,
+            )
+        edge_calibrations: dict[tuple[int, int], EdgeCalibration] = {}
+        for edge in record.coupling_edges:
+            key = tuple(sorted(edge))
+            edge_calibrations[key] = EdgeCalibration(
+                cx_error=cx_errors.get(key, default_cx_error),
+                gate_time=_NOMINAL_TQ_GATE_TIME_NS,
+            )
+        return cls(
+            record=record,
+            qubit_calibrations=qubit_calibrations,
+            edge_calibrations=edge_calibrations,
+            readout_errors=readout_errors,
+            name=name,
+        )
+
+    def _readout_error_for(self, qubit: int) -> ReadoutError:
+        """Asymmetric measured confusion where available (see base hook)."""
+        learned = self.readout_errors.get(int(qubit))
+        if learned is not None:
+            return learned
+        return super()._readout_error_for(qubit)
+
+    def compare_to(
+        self,
+        reference: DeviceModel,
+        qubits: Sequence[int] | None = None,
+        pairs: Sequence[tuple[int, int]] | None = None,
+        parameters: Sequence[str] | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Per-parameter relative error against a reference device.
+
+        With no explicit subset, each parameter is compared over the
+        qubits/pairs that actually carry the corresponding fit — RB-derived
+        1q infidelity over the RB-calibrated qubits, CX infidelity over the
+        Pauli-learned pairs, readout over the readout-calibrated qubits.
+        (A readout-only scan of a wide device stores readout fits for every
+        qubit but gate errors only as median fill-ins; comparing those
+        fill-ins against the reference's true per-qubit values would report
+        topology luck, not fit quality.)  Passing any of ``qubits`` /
+        ``pairs`` / ``parameters`` switches to a single
+        :meth:`~repro.noise.DeviceModel.compare` call over that explicit
+        subset, with the reference as the denominator of each relative
+        error.
+        """
+        record = self.record
+        if qubits is not None or pairs is not None or parameters is not None:
+            if qubits is None:
+                qubits = record.calibrated_qubits or None
+            if pairs is None:
+                pairs = record.calibrated_pairs or None
+            return self.compare(reference, qubits=qubits, pairs=pairs, parameters=parameters)
+        per_parameter = {
+            "median_1q_channel_infidelity": {
+                "qubits": [q for q in record.calibrated_qubits if record.gate_error(q) is not None]
+            },
+            "median_2q_channel_infidelity": {
+                "pairs": [p for p in record.calibrated_pairs if record.cx_error(p) is not None]
+            },
+            "median_readout_error": {
+                "qubits": [q for q in record.calibrated_qubits if record.readout_error(q) is not None]
+            },
+        }
+        report: dict[str, dict[str, float]] = {}
+        for name, subset in per_parameter.items():
+            if not next(iter(subset.values())):
+                continue  # nothing measured for this parameter
+            report.update(self.compare(reference, parameters=(name,), **subset))
+        return report

@@ -29,7 +29,7 @@ from ..distributions import (
     hellinger_fidelity,
     iterative_bayesian_update,
 )
-from ..noise import DeviceModel, NoiseModel
+from ..noise import DeviceModel, NoiseModel, as_noise_model
 from ..simulators import ExecutionEngine, ideal_distribution
 from ..transpiler import count_two_qubit_basis_gates, noise_aware_layout
 from .analysis import SubsetAnalysis, analyse_subset
@@ -176,7 +176,9 @@ class QuTracer:
         if noise_model is None and device is None:
             raise ValueError("provide a noise_model, a device, or both")
         self.device = device
-        self.noise_model = noise_model
+        # A DeviceModel / LearnedDeviceModel is accepted wherever a
+        # NoiseModel fits; its derived noise_model() is what executions see.
+        self.noise_model = as_noise_model(noise_model) if noise_model is not None else None
         self.shots = int(shots)
         self.shots_per_circuit = int(shots_per_circuit or max(shots // 10, 256))
         self.seed = seed

@@ -17,7 +17,7 @@ from typing import Sequence
 
 from ..circuits import QuantumCircuit
 from ..distributions import ProbabilityDistribution, iterative_bayesian_update
-from ..noise import NoiseModel
+from ..noise import NoiseModel, as_noise_model
 from ..simulators import ExecutionEngine, get_default_engine
 
 __all__ = ["JigsawResult", "default_subsets", "build_subset_circuit", "run_jigsaw"]
@@ -96,6 +96,10 @@ def run_jigsaw(
     if not circuit.has_measurements:
         circuit = circuit.copy()
         circuit.measure_all()
+    # Accepts a DeviceModel / LearnedDeviceModel wherever a NoiseModel fits
+    # (None still means ideal noise, resolved by the engine).
+    if noise_model is not None:
+        noise_model = as_noise_model(noise_model)
     owned_engine = None
     if engine is None:
         if workers is not None or cache_dir is not None:

@@ -18,7 +18,7 @@ from typing import Mapping, Sequence
 
 from ..circuits import Instruction, QuantumCircuit, standard_gate
 from ..distributions import ProbabilityDistribution
-from ..noise import NoiseModel
+from ..noise import NoiseModel, as_noise_model
 from ..simulators import ExecutionEngine, get_default_engine
 
 __all__ = ["PauliCheck", "PCSResult", "build_pcs_circuit", "post_select", "run_pcs"]
@@ -188,6 +188,10 @@ def run_pcs(
     if not circuit.has_measurements:
         circuit = circuit.copy()
         circuit.measure_all()
+    # Accepts a DeviceModel / LearnedDeviceModel wherever a NoiseModel fits
+    # (None still means ideal noise, resolved by the engine).
+    if noise_model is not None:
+        noise_model = as_noise_model(noise_model)
     owned_engine = None
     if engine is None:
         if workers is not None or cache_dir is not None:

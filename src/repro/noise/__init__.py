@@ -25,8 +25,8 @@ from .device import (
     heavy_hex_coupling,
     linear_coupling,
 )
-from .model import NoiseModel
-from .readout import ReadoutError
+from .model import NoiseModel, as_noise_model
+from .readout import ReadoutError, joint_confusion_matrix
 
 __all__ = [
     "KrausChannel",
@@ -39,7 +39,9 @@ __all__ = [
     "phase_damping_channel",
     "thermal_relaxation_channel",
     "ReadoutError",
+    "joint_confusion_matrix",
     "NoiseModel",
+    "as_noise_model",
     "DeviceModel",
     "QubitCalibration",
     "EdgeCalibration",

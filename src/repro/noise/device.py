@@ -93,6 +93,7 @@ class DeviceModel:
         for edge in self.coupling_edges:
             if edge not in self.edge_calibrations:
                 raise ValueError(f"missing calibration for edge {edge}")
+        self._derived_noise_model: NoiseModel | None = None
 
     # -- summary statistics (match the quantities the paper reports) -------
 
@@ -108,10 +109,125 @@ class DeviceModel:
     def median_t2(self) -> float:
         return float(np.median([c.t2 for c in self.qubit_calibrations.values()]))
 
+    def summary(
+        self,
+        qubits: Sequence[int] | None = None,
+        pairs: Sequence[tuple[int, int]] | None = None,
+    ) -> dict[str, float]:
+        """Per-parameter medians, optionally restricted to a qubit/pair subset.
+
+        Besides the raw calibration scalars, the summary reports the **channel
+        infidelities** ``median_1q_channel_infidelity`` /
+        ``median_2q_channel_infidelity`` — ``1 - F_avg`` of the channels the
+        model actually applies (depolarizing composed with thermal
+        relaxation).  Those are the quantities noise learning can observe, so
+        :meth:`compare` between a learned and a reference model is
+        apples-to-apples even though the learned model folds relaxation into
+        its depolarizing rates.
+        """
+        qubit_list = sorted(self.qubit_calibrations) if qubits is None else [int(q) for q in qubits]
+        pair_list = (
+            list(self.edge_calibrations)
+            if pairs is None
+            else [tuple(sorted((int(a), int(b)))) for a, b in pairs]
+        )
+        for q in qubit_list:
+            if q not in self.qubit_calibrations:
+                raise ValueError(f"qubit {q} has no calibration")
+        for pair in pair_list:
+            if pair not in self.edge_calibrations:
+                raise ValueError(f"pair {pair} has no calibration")
+        qcals = [self.qubit_calibrations[q] for q in qubit_list]
+        ecals = [self.edge_calibrations[p] for p in pair_list]
+        summary: dict[str, float] = {
+            "median_sq_error": float(np.median([c.sq_error for c in qcals])),
+            "median_readout_error": float(
+                np.median([self._readout_error_for(q).average_error for q in qubit_list])
+            ),
+            "median_t1": float(np.median([c.t1 for c in qcals])),
+            "median_t2": float(np.median([c.t2 for c in qcals])),
+            "median_1q_channel_infidelity": float(
+                np.median(
+                    [1.0 - self._single_qubit_channel(c).average_gate_fidelity() for c in qcals]
+                )
+            ),
+        }
+        if ecals:
+            summary["median_cx_error"] = float(np.median([c.cx_error for c in ecals]))
+            summary["median_2q_channel_infidelity"] = float(
+                np.median(
+                    [
+                        1.0
+                        - self._two_qubit_channel(
+                            self.edge_calibrations[pair],
+                            self.qubit_calibrations[pair[0]],
+                            self.qubit_calibrations[pair[1]],
+                        ).average_gate_fidelity()
+                        for pair in pair_list
+                    ]
+                )
+            )
+        return summary
+
+    # Parameters whose meaning is shared between a reference model and a
+    # learned one (a learned model folds relaxation into its gate errors, so
+    # t1/t2 and the raw error scalars are not comparable across the two).
+    COMPARABLE_PARAMETERS = (
+        "median_1q_channel_infidelity",
+        "median_2q_channel_infidelity",
+        "median_readout_error",
+    )
+
+    def compare(
+        self,
+        other: "DeviceModel",
+        qubits: Sequence[int] | None = None,
+        pairs: Sequence[tuple[int, int]] | None = None,
+        parameters: Sequence[str] | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Per-parameter medians of ``self`` vs ``other`` with relative errors.
+
+        Returns ``{parameter: {"self": ..., "other": ..., "relative_error":
+        |self - other| / max(|other|, 1e-12)}}`` over the parameters listed in
+        ``parameters`` (default :attr:`COMPARABLE_PARAMETERS`), with both
+        summaries restricted to the same ``qubits`` / ``pairs`` subset.
+        ``other`` is the reference in the relative error.  This is what
+        :class:`~repro.calibration.LearnedDeviceModel` reports after a
+        calibration run.
+        """
+        names = tuple(parameters) if parameters is not None else self.COMPARABLE_PARAMETERS
+        mine = self.summary(qubits=qubits, pairs=pairs)
+        theirs = other.summary(qubits=qubits, pairs=pairs)
+        report: dict[str, dict[str, float]] = {}
+        for name in names:
+            if name not in mine or name not in theirs:
+                raise ValueError(f"parameter {name!r} is not in both summaries")
+            reference = theirs[name]
+            report[name] = {
+                "self": mine[name],
+                "other": reference,
+                "relative_error": abs(mine[name] - reference) / max(abs(reference), 1e-12),
+            }
+        return report
+
     # -- noise model --------------------------------------------------------
 
     def noise_model(self) -> NoiseModel:
-        """Build the NoiseModel equivalent of this device's calibration."""
+        """The NoiseModel equivalent of this device's calibration.
+
+        Memoised: a device's calibrations are immutable, so the derived
+        model is built once and the same object returned thereafter —
+        repeated :func:`~repro.noise.as_noise_model` coercions (passing the
+        device itself to the engine per call) reuse its memoised
+        fingerprint instead of rebuilding every channel.  Treat the
+        returned model as read-only; copy it (or use
+        :meth:`noise_model_for_assignment`) before mutating.
+        """
+        if self._derived_noise_model is None:
+            self._derived_noise_model = self._build_noise_model()
+        return self._derived_noise_model
+
+    def _build_noise_model(self) -> NoiseModel:
         model = NoiseModel()
         median_qubit = QubitCalibration(
             t1=self.median_t1(),
@@ -131,8 +247,9 @@ class DeviceModel:
 
         for qubit, calibration in self.qubit_calibrations.items():
             model.set_qubit_error(qubit, self._single_qubit_channel(calibration))
-            if calibration.readout_error > 0:
-                model.set_readout_error(ReadoutError(calibration.readout_error), qubit)
+            readout = self._readout_error_for(qubit)
+            if not readout.is_trivial():
+                model.set_readout_error(readout, qubit)
         for edge, calibration in self.edge_calibrations.items():
             a, b = edge
             channel = self._two_qubit_channel(
@@ -140,6 +257,15 @@ class DeviceModel:
             )
             model.set_pair_error(edge, channel)
         return model
+
+    def _readout_error_for(self, qubit: int) -> ReadoutError:
+        """Confusion of one qubit; the single hook all noise-model builders use.
+
+        The base class reads the symmetric ``readout_error`` scalar from the
+        calibration; :class:`~repro.calibration.LearnedDeviceModel` overrides
+        this with the asymmetric confusion matrices it measured.
+        """
+        return ReadoutError(self.qubit_calibrations[qubit].readout_error)
 
     @staticmethod
     def _single_qubit_channel(calibration: QubitCalibration) -> KrausChannel:
@@ -201,7 +327,7 @@ class DeviceModel:
         for logical, physical in assignment.items():
             calibration = self.qubit_calibrations[physical]
             model.set_qubit_error(logical, self._single_qubit_channel(calibration))
-            model.set_readout_error(ReadoutError(calibration.readout_error), logical)
+            model.set_readout_error(self._readout_error_for(physical), logical)
         logicals = sorted(assignment)
         for i, a in enumerate(logicals):
             for b in logicals[i + 1 :]:

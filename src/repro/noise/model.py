@@ -27,7 +27,31 @@ from ..circuits.instruction import Instruction
 from .channels import KrausChannel, depolarizing_channel
 from .readout import ReadoutError
 
-__all__ = ["NoiseModel"]
+__all__ = ["NoiseModel", "as_noise_model"]
+
+
+def as_noise_model(source: "NoiseModel | object") -> "NoiseModel":
+    """Coerce ``source`` into a :class:`NoiseModel`.
+
+    Accepts a :class:`NoiseModel` (returned unchanged) or any object with a
+    ``noise_model()`` method — a :class:`~repro.noise.DeviceModel` or a
+    :class:`~repro.calibration.LearnedDeviceModel` — so every entry point
+    that takes gate/readout noise (the execution engine, ``run_jigsaw``,
+    ``run_pcs``, ``run_sqem``, :class:`~repro.core.QuTracer`) can be handed
+    a learned or reference device directly.  Duck-typed rather than
+    ``isinstance(DeviceModel)`` to avoid a circular import (``device``
+    imports this module).
+    """
+    if isinstance(source, NoiseModel):
+        return source
+    builder = getattr(source, "noise_model", None)
+    if callable(builder):
+        model = builder()
+        if isinstance(model, NoiseModel):
+            return model
+    raise TypeError(
+        f"expected a NoiseModel or an object with a noise_model() method, got {type(source).__name__}"
+    )
 
 
 class NoiseModel:

@@ -51,7 +51,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
-from ..noise import NoiseModel
+from ..noise import NoiseModel, as_noise_model
 from .cache import DEFAULT_MAX_BYTES, PersistentResultCache
 from .density_matrix import noisy_distribution_density_matrix
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD
@@ -123,6 +123,16 @@ class EngineStats:
     def hit_rate(self) -> float:
         served = self.cache_hits + self.batch_dedup_hits
         return served / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (plus the derived hit rate).
+
+        Used by consumers that archive execution accounting alongside their
+        results — e.g. the calibration subsystem's ``CalibrationRecord``.
+        """
+        snapshot = dataclasses.asdict(self)
+        snapshot["hit_rate"] = round(self.hit_rate, 6)
+        return snapshot
 
     def reset(self) -> None:
         self.requests = 0
@@ -330,8 +340,13 @@ class ExecutionEngine:
 
         Returns one :class:`~repro.simulators.result.ExecutionResult` per
         input circuit, in input order.
+
+        ``noise_model`` may be anything :func:`~repro.noise.as_noise_model`
+        accepts — in particular a :class:`~repro.noise.DeviceModel` or a
+        :class:`~repro.calibration.LearnedDeviceModel`, whose derived
+        ``noise_model()`` is used.
         """
-        noise_model = noise_model or NoiseModel.ideal()
+        noise_model = as_noise_model(noise_model) if noise_model is not None else NoiseModel.ideal()
         max_trajectories = max_trajectories or self.max_trajectories
         fusion = self.fusion if fusion is None else bool(fusion)
         workers = (self.workers or 1) if workers is None else int(workers)

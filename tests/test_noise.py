@@ -20,6 +20,7 @@ from repro.noise import (
     falcon_27_coupling,
     heavy_hex_coupling,
     identity_channel,
+    joint_confusion_matrix,
     linear_coupling,
     pauli_channel,
     phase_damping_channel,
@@ -320,3 +321,118 @@ class TestDeviceModels:
         assert depolarizing_from_average_infidelity(0.03, 2) == pytest.approx(0.04)
         with pytest.raises(ValueError):
             depolarizing_from_average_infidelity(-0.1, 1)
+
+
+class TestJointConfusion:
+    def test_single_error_equals_confusion_matrix(self):
+        error = ReadoutError(0.1, 0.3)
+        assert np.allclose(joint_confusion_matrix([error]), error.confusion_matrix)
+
+    def test_pair_bit_convention(self):
+        # Bit 0 of the joint index corresponds to errors[0] (little-endian,
+        # matching ProbabilityDistribution outcomes).
+        a = ReadoutError(0.1, 0.0)  # only flips 0 -> 1
+        b = ReadoutError(0.0, 0.0)  # perfect
+        joint = joint_confusion_matrix([a, b])
+        # Prepared |00> (column 0): P(measure 01) = flip of bit 0 = 0.1.
+        assert joint[0b01, 0b00] == pytest.approx(0.1)
+        assert joint[0b10, 0b00] == pytest.approx(0.0)
+        # Prepared |10> (qubit 1 in |1>, column 2): bit 1 never flips back.
+        assert joint[0b10, 0b10] == pytest.approx(0.9)
+        assert joint[0b11, 0b10] == pytest.approx(0.1)
+
+    def test_columns_are_distributions(self):
+        joint = joint_confusion_matrix([ReadoutError(0.05, 0.2), ReadoutError(0.12, 0.07)])
+        assert joint.shape == (4, 4)
+        assert np.allclose(joint.sum(axis=0), 1.0)
+
+    def test_tensor_method_delegates(self):
+        a, b = ReadoutError(0.1, 0.2), ReadoutError(0.03, 0.04)
+        assert np.allclose(a.tensor(b), joint_confusion_matrix([a, b]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            joint_confusion_matrix([])
+
+
+class TestDeviceSummaryCompare:
+    def test_summary_medians_match_scalar_helpers(self):
+        device = fake_mumbai()
+        summary = device.summary()
+        assert summary["median_cx_error"] == pytest.approx(device.median_cx_error())
+        assert summary["median_readout_error"] == pytest.approx(device.median_readout_error())
+        assert summary["median_t1"] == pytest.approx(device.median_t1())
+        # Channel infidelities include the relaxation contribution, so they
+        # exceed the raw calibration scalars.
+        assert summary["median_2q_channel_infidelity"] > summary["median_cx_error"]
+        assert summary["median_1q_channel_infidelity"] > summary["median_sq_error"]
+
+    def test_summary_subset_restriction(self):
+        device = fake_mumbai()
+        qubits = [0, 1, 2]
+        pairs = [(0, 1), (1, 2)]
+        summary = device.summary(qubits=qubits, pairs=pairs)
+        expected = np.median([device.qubit_calibrations[q].readout_error for q in qubits])
+        assert summary["median_readout_error"] == pytest.approx(expected)
+        expected_cx = np.median([device.edge_calibrations[p].cx_error for p in pairs])
+        assert summary["median_cx_error"] == pytest.approx(expected_cx)
+        with pytest.raises(ValueError):
+            device.summary(qubits=[999])
+        with pytest.raises(ValueError):
+            device.summary(pairs=[(0, 26)])
+
+    def test_compare_reports_relative_errors(self):
+        device = fake_mumbai()
+        report = device.compare(device)
+        for entry in report.values():
+            assert entry["relative_error"] == pytest.approx(0.0, abs=1e-12)
+            assert entry["self"] == entry["other"]
+        other = fake_hanoi()
+        report = device.compare(other)
+        for name, entry in report.items():
+            expected = abs(entry["self"] - entry["other"]) / abs(entry["other"])
+            assert entry["relative_error"] == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            device.compare(other, parameters=["not_a_parameter"])
+
+
+class TestCouplingInvariants:
+    @staticmethod
+    def _degree_and_connectivity(edges):
+        import networkx as nx
+
+        graph = nx.Graph(edges)
+        return max(dict(graph.degree).values()), nx.is_connected(graph)
+
+    def test_falcon_27_graph_invariants(self):
+        edges = falcon_27_coupling()
+        assert len(edges) == 28
+        assert len({tuple(sorted(e)) for e in edges}) == 28  # no duplicates
+        assert {q for e in edges for q in e} == set(range(27))
+        degree, connected = self._degree_and_connectivity(edges)
+        assert degree <= 3 and connected
+
+    def test_heavy_hex_edge_count_formula(self):
+        # rows * (row_length - 1) chain edges + 2 per bridge qubit.
+        for rows, length, connectors in ((7, 13, 6), (3, 5, 2), (2, 4, 3)):
+            edges = heavy_hex_coupling(rows, length, connectors)
+            expected_edges = rows * (length - 1) + 2 * connectors * (rows - 1)
+            assert len(edges) == expected_edges
+            num_qubits = rows * length + connectors * (rows - 1)
+            assert {q for e in edges for q in e} == set(range(num_qubits))
+            degree, connected = self._degree_and_connectivity(edges)
+            assert degree <= 3 and connected
+
+    def test_fake_device_name_to_layout_table(self):
+        # Falcon-era names map to the 27-qubit layout, Eagle-era to 127;
+        # ibm_/ibmq_/fake_ prefixes and case are all accepted.
+        expectations = {
+            "mumbai": 27, "hanoi": 27, "kyoto": 127, "cusco": 127,
+        }
+        for name, num_qubits in expectations.items():
+            for prefix in ("", "ibm_", "ibmq_", "fake_"):
+                device = fake_device(f"{prefix}{name}")
+                assert device.num_qubits == num_qubits
+                assert device.name == f"fake_{name}"
+        falcon_edges = {tuple(sorted(e)) for e in falcon_27_coupling()}
+        assert {tuple(sorted(e)) for e in fake_device("Mumbai").coupling_edges} == falcon_edges
