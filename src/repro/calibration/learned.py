@@ -137,6 +137,20 @@ class CalibrationRecord:
     def calibrated_pairs(self) -> list[tuple[int, int]]:
         return sorted(self.pairs)
 
+    def coupling_map(self):
+        """The recorded topology as a :class:`~repro.transpiler.CouplingMap`.
+
+        A calibration record carries the device's coupling graph, so a
+        *learned* calibration can drive hardware-aware compilation exactly
+        like a reference device: ``transpile(circuit, device=learned)`` or
+        ``engine.execute(circuit, device=learned)`` route against these
+        edges (``LearnedDeviceModel`` inherits the same hook from
+        :meth:`~repro.noise.DeviceModel.coupling_map`).
+        """
+        from ..transpiler.coupling import CouplingMap
+
+        return CouplingMap(self.coupling_edges, self.num_qubits)
+
     def readout_error(self, qubit: int) -> ReadoutError | None:
         data = self.qubits.get(int(qubit), {}).get("readout")
         if data is None:
@@ -157,9 +171,12 @@ class LearnedDeviceModel(DeviceModel):
     """A :class:`~repro.noise.DeviceModel` reconstructed from measurements.
 
     Behaves exactly like a reference device everywhere one is accepted
-    (noise-model derivation, noise-aware layout, per-assignment remapping)
-    while carrying its :class:`CalibrationRecord` for provenance and
-    reporting.  Qubits or couplers the record did not calibrate fall back
+    (noise-model derivation, noise-aware layout, per-assignment remapping,
+    and hardware-aware compilation — :meth:`~repro.noise.DeviceModel.coupling_map`
+    and :meth:`~repro.noise.DeviceModel.fingerprint` expose the learned
+    topology/calibration to the transpiler and the engine's
+    :class:`~repro.transpiler.CompilationCache`) while carrying its
+    :class:`CalibrationRecord` for provenance and reporting.  Qubits or couplers the record did not calibrate fall back
     to the *median of the learned values* (a fresh calibration of a wider
     region refines them); :meth:`compare_to` therefore restricts each
     parameter to the subset that actually carries the corresponding fit.

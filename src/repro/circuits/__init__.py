@@ -6,6 +6,7 @@ dependency / commutation analysis helpers.
 """
 
 from .circuit import QuantumCircuit
+from .fingerprint import circuit_fingerprint
 from .dag import (
     dependency_cone,
     final_single_qubit_layer,
@@ -33,6 +34,7 @@ from .operations import (
 
 __all__ = [
     "QuantumCircuit",
+    "circuit_fingerprint",
     "Instruction",
     "Operation",
     "Gate",

@@ -156,6 +156,7 @@ def virtual_pauli_check(
     engine: ExecutionEngine | None = None,
     workers: int | None = None,
     cache_dir: str | None = None,
+    device=None,
 ) -> VirtualCheckResult:
     """Run one virtual Pauli check over ``segment``.
 
@@ -188,6 +189,15 @@ def virtual_pauli_check(
         :class:`~repro.simulators.engine.ExecutionEngine` with this many
         sharding processes and/or this persistent cache directory instead of
         the process-wide default.  Ignored when ``engine`` is given.
+    device:
+        A :class:`~repro.noise.DeviceModel` (true or learned).  When given,
+        every prepare/run/measure circuit is compiled onto the device —
+        noise-aware layout, SABRE routing, basis translation — through the
+        engine's :class:`~repro.transpiler.CompilationCache`, and executed
+        under the device's noise model (``noise_model`` may then be
+        ``None``; an explicit model overrides the device's and is
+        interpreted over *physical device wires*, see
+        :meth:`~repro.simulators.engine.ExecutionEngine.execute_many`).
     """
     options = options or QSPCOptions()
     subset_qubits = [int(q) for q in subset_qubits]
@@ -271,6 +281,7 @@ def virtual_pauli_check(
             shots=options.shots_per_circuit,
             seed=seed,
             max_trajectories=options.max_trajectories,
+            device=device,
         )
     finally:
         if owned_engine is not None:

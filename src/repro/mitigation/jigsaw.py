@@ -78,8 +78,18 @@ def run_jigsaw(
     engine: ExecutionEngine | None = None,
     workers: int | None = None,
     cache_dir: str | None = None,
+    device=None,
 ) -> JigsawResult:
     """Run the Jigsaw protocol.
+
+    ``device`` (a :class:`~repro.noise.DeviceModel`, true or learned)
+    switches on hardware-aware execution: the global circuit and every
+    subset copy are compiled onto the device — noise-aware layout, SABRE
+    routing, basis translation — through the engine's
+    :class:`~repro.transpiler.CompilationCache` and executed under the
+    device's noise model (``noise_model`` may then be ``None``; an explicit
+    model overrides the device's and is interpreted over *physical device
+    wires*, see :meth:`~repro.simulators.engine.ExecutionEngine.execute_many`).
 
     Half the shots produce the global distribution, the other half are split
     evenly across the subset circuits (the paper's configuration in
@@ -120,7 +130,12 @@ def run_jigsaw(
 
     try:
         global_result = engine.execute(
-            circuit, noise_model, shots=shots_global, seed=seed, max_trajectories=max_trajectories
+            circuit,
+            noise_model,
+            shots=shots_global,
+            seed=seed,
+            max_trajectories=max_trajectories,
+            device=device,
         )
         global_distribution = global_result.distribution
 
@@ -131,6 +146,7 @@ def run_jigsaw(
             shots=shots_per_subset,
             seed=None if seed is None else seed + 101,
             max_trajectories=max_trajectories,
+            device=device,
         )
     finally:
         if owned_engine is not None:

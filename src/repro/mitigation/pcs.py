@@ -168,8 +168,22 @@ def run_pcs(
     engine: ExecutionEngine | None = None,
     workers: int | None = None,
     cache_dir: str | None = None,
+    device=None,
 ) -> PCSResult:
     """Execute the PCS-instrumented circuit and post-select on the ancillas.
+
+    ``device`` (a :class:`~repro.noise.DeviceModel`, true or learned)
+    switches on hardware-aware execution: the instrumented circuit is
+    compiled onto the device — noise-aware layout, SABRE routing, basis
+    translation — through the engine's
+    :class:`~repro.transpiler.CompilationCache` and executed under the
+    device's noise model (``noise_model`` may then be ``None``; an explicit
+    model overrides the device's and is interpreted over *physical device
+    wires*, see :meth:`~repro.simulators.engine.ExecutionEngine.execute_many`).
+    ``ideal_checks=True`` is incompatible with ``device=``: the ideal-PCS
+    baseline is defined on the *logical* circuit (noise-free ancilla wires),
+    and after routing the ancillas share physical wires with the payload, so
+    the per-wire perfection has no physical counterpart.
 
     ``ideal_checks=True`` reproduces the paper's *ideal PCS* baseline: every
     gate touching an ancilla and the ancilla readout are error free, so only
@@ -185,6 +199,12 @@ def run_pcs(
     pre-configures the dedicated engine for any future batched use.  Both
     are ignored when ``engine`` is given.
     """
+    if device is not None and ideal_checks:
+        raise ValueError(
+            "ideal_checks=True is a logical-circuit baseline; it cannot be "
+            "compiled onto a device (routed ancillas share physical wires "
+            "with the payload)"
+        )
     if not circuit.has_measurements:
         circuit = circuit.copy()
         circuit.measure_all()
@@ -202,7 +222,12 @@ def run_pcs(
     model = noise_model.with_perfect_qubits(ancilla_qubits) if ideal_checks else noise_model
     try:
         result = engine.execute(
-            instrumented, model, shots=shots, seed=seed, max_trajectories=max_trajectories
+            instrumented,
+            model,
+            shots=shots,
+            seed=seed,
+            max_trajectories=max_trajectories,
+            device=device,
         )
     finally:
         if owned_engine is not None:

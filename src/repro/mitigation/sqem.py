@@ -40,6 +40,7 @@ def run_sqem(
     engine: ExecutionEngine | None = None,
     workers: int | None = None,
     cache_dir: str | None = None,
+    compile: bool = False,
 ) -> QuTracerResult:
     """Run the SQEM baseline and return the refined global distribution.
 
@@ -50,6 +51,10 @@ def run_sqem(
     becomes cache hits.  ``workers``/``cache_dir`` configure the default
     engine's process-parallel sharding and persistent on-disk cache when no
     ``engine`` is passed (forwarded to :class:`~repro.core.QuTracer`).
+    ``compile=True`` (requires ``device``) runs every copy hardware-aware:
+    compiled onto the device through the engine's
+    :class:`~repro.transpiler.CompilationCache` and executed under the
+    device's noise model — see :class:`~repro.core.QuTracer`.
     """
     options = QuTracerOptions(
         enable_checks=True,
@@ -70,6 +75,7 @@ def run_sqem(
         engine=engine,
         workers=workers,
         cache_dir=cache_dir,
+        compile=compile,
     )
     try:
         return runner.run(circuit, subsets=subsets, subset_size=subset_size)

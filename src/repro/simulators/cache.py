@@ -50,7 +50,10 @@ from typing import Any, Iterator
 
 __all__ = ["PersistentResultCache", "CACHE_FORMAT_VERSION", "canonical_key_bytes"]
 
-CACHE_FORMAT_VERSION = 1
+# v2: the engine's result-cache key grew a trailing device-fingerprint
+# component (hardware-aware compilation), and compiled-circuit artifacts
+# ("compiled", ...) share the store — v1 trees are invisible, not misread.
+CACHE_FORMAT_VERSION = 2
 
 # Every entry file starts with this line; a reader that does not find it
 # (old format, foreign file, truncation that ate the header) discards the

@@ -49,9 +49,10 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..circuits import QuantumCircuit
+from ..circuits import QuantumCircuit, circuit_fingerprint
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
 from ..noise import NoiseModel, as_noise_model
+from ..transpiler.compilation import CompilationCache, CompiledCircuit
 from .cache import DEFAULT_MAX_BYTES, PersistentResultCache
 from .density_matrix import noisy_distribution_density_matrix
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD
@@ -77,27 +78,8 @@ __all__ = [
 # count (there) must agree on what shots=None means.
 
 
-def circuit_fingerprint(circuit: QuantumCircuit) -> str:
-    """Content hash of a circuit's structure.
-
-    Two circuits with the same wire counts and the same instruction stream
-    (operation matrices, parameters, wire bindings) share a fingerprint
-    regardless of object identity or name.  Gate matrices are hashed, so
-    ``UnitaryGate`` and ``StatePreparation`` contents are captured exactly.
-    """
-    digest = hashlib.sha256()
-    digest.update(f"{circuit.num_qubits}|{circuit.num_clbits}".encode())
-    for inst in circuit.data:
-        op = inst.operation
-        digest.update(op.name.encode())
-        digest.update(repr(inst.qubits).encode())
-        if inst.clbits:
-            digest.update(repr(inst.clbits).encode())
-        if op.params:
-            digest.update(np.asarray(op.params, dtype=float).tobytes())
-        if inst.is_gate:
-            digest.update(np.ascontiguousarray(op.matrix).tobytes())
-    return digest.hexdigest()
+# circuit_fingerprint moved to repro.circuits.fingerprint (the transpiler's
+# CompilationCache keys on it too); re-exported here for compatibility.
 
 
 @dataclasses.dataclass
@@ -118,6 +100,10 @@ class EngineStats:
     persistent_hits: int = 0
     # Executions dispatched to pool workers (the rest ran in-process).
     parallel_executed: int = 0
+    # Hardware-aware compilations served from / missed by the
+    # CompilationCache (device= submissions only).
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -144,6 +130,8 @@ class EngineStats:
         self.state_cache_hits = 0
         self.persistent_hits = 0
         self.parallel_executed = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
 
 
 @dataclasses.dataclass
@@ -168,6 +156,11 @@ class _Prepared:
     key: tuple | None  # None => not cacheable
     fingerprint: str = ""
     fusion: bool = True
+    # Device-compiled requests only: the original submission's clbit ->
+    # logical qubit map.  Compiled circuits measure *physical* wires into
+    # the logical clbits, so delivery translates measured_qubits back
+    # through this instead of reporting physical wire indices.
+    logical_measured: list[int] | None = None
 
 
 class ExecutionEngine:
@@ -208,6 +201,10 @@ class ExecutionEngine:
         processes and sessions.  ``None`` (default) disables persistence.
     persistent_cache_bytes:
         Size cap for the on-disk cache tree (LRU eviction by mtime).
+    compilation_cache_size:
+        In-memory LRU capacity of the hardware-aware
+        :class:`~repro.transpiler.CompilationCache` used by ``device=``
+        submissions (persistent when ``cache_dir`` is set).
     """
 
     def __init__(
@@ -222,6 +219,7 @@ class ExecutionEngine:
         chunk_size: int | None = None,
         cache_dir: str | None = None,
         persistent_cache_bytes: int | None = DEFAULT_MAX_BYTES,
+        compilation_cache_size: int = 1024,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -240,6 +238,13 @@ class ExecutionEngine:
             PersistentResultCache(cache_dir, max_bytes=persistent_cache_bytes)
             if cache_dir is not None
             else None
+        )
+        # Hardware-aware compilation artifacts, content-addressed by
+        # (circuit fingerprint, device fingerprint, pipeline signature) and
+        # backed by the same persistent store as the result cache — so
+        # calibration sweeps and parallel shards never re-route a circuit.
+        self._compilation = CompilationCache(
+            max_entries=compilation_cache_size, persistent=self._persistent
         )
         self.stats = EngineStats()
         # Maps result keys -> ExecutionResult and "dm-state" keys -> the
@@ -278,6 +283,7 @@ class ExecutionEngine:
         method: str = "auto",
         max_trajectories: int | None = None,
         fusion: bool | None = None,
+        device=None,
     ) -> ExecutionResult:
         """Run one circuit through the cache (see :meth:`execute_many`).
 
@@ -293,6 +299,7 @@ class ExecutionEngine:
             method=method,
             max_trajectories=max_trajectories,
             fusion=fusion,
+            device=device,
         )[0]
 
     def execute_many(
@@ -305,6 +312,7 @@ class ExecutionEngine:
         max_trajectories: int | None = None,
         fusion: bool | None = None,
         workers: int | None = None,
+        device=None,
     ) -> list[ExecutionResult]:
         """Run a batch of circuits, deduplicating and caching shared work.
 
@@ -345,13 +353,36 @@ class ExecutionEngine:
         accepts — in particular a :class:`~repro.noise.DeviceModel` or a
         :class:`~repro.calibration.LearnedDeviceModel`, whose derived
         ``noise_model()`` is used.
+
+        ``device`` switches on **hardware-aware compilation**: each logical
+        circuit is transpiled onto the device (noise-aware layout, SABRE
+        routing, basis translation) through the engine's content-addressed
+        :class:`~repro.transpiler.CompilationCache` before execution, and
+        executed under the device's noise model.  An explicit
+        ``noise_model`` overrides the device's, and — like the device's own
+        model — is interpreted over the **physical device wires** of the
+        compiled circuit (noise applies to the circuit being executed):
+        default/uniform channels and readout compose naturally, but
+        channels indexed by *logical* qubit will not follow those qubits
+        through layout and routing — remap them onto physical wires
+        yourself, or attach them to a device model instead.  Results come
+        back in *logical* terms:
+        the classical bits carry each logical qubit through the routed
+        permutation, and ``measured_qubits`` name the original logical
+        qubits.  A circuit submitted without measurements is measure-all'd
+        before compilation (its distribution covers every logical qubit,
+        with readout noise — devices read out what they measure).
         """
+        if device is not None and noise_model is None:
+            noise_model = device
         noise_model = as_noise_model(noise_model) if noise_model is not None else NoiseModel.ideal()
         max_trajectories = max_trajectories or self.max_trajectories
         fusion = self.fusion if fusion is None else bool(fusion)
         workers = (self.workers or 1) if workers is None else int(workers)
         prepared = [
-            self._prepare(circuit, noise_model, shots, seed, method, max_trajectories, fusion)
+            self._prepare(
+                circuit, noise_model, shots, seed, method, max_trajectories, fusion, device
+            )
             for circuit in circuits
         ]
         if workers > 1 and len(prepared) > 1:
@@ -585,6 +616,27 @@ class ExecutionEngine:
     # Request preparation
     # ------------------------------------------------------------------
 
+    def compile(self, circuit: QuantumCircuit, device) -> CompiledCircuit:
+        """Hardware-aware compilation through the engine's CompilationCache.
+
+        Returns the cached :class:`~repro.transpiler.CompiledCircuit` for
+        ``(circuit, device)`` — compiling on first sight, serving the
+        content-addressed artifact thereafter.  Consumers (QuTracer's
+        overhead accounting) use this to read post-transpile gate counts
+        without paying for a second compilation.
+        """
+        hits_before = self._compilation.hits
+        compiled = self._compilation.get_or_compile(circuit, device)
+        if self._compilation.hits > hits_before:
+            self.stats.compile_hits += 1
+        else:
+            self.stats.compile_misses += 1
+        return compiled
+
+    @property
+    def compilation_cache(self) -> CompilationCache:
+        return self._compilation
+
     def _prepare(
         self,
         circuit: QuantumCircuit,
@@ -594,11 +646,19 @@ class ExecutionEngine:
         method: str,
         max_trajectories: int,
         fusion: bool,
+        device=None,
     ) -> _Prepared:
         if method not in ("auto", "statevector", "density_matrix", "trajectory"):
             raise ValueError(f"unknown method {method!r}")
         if shots is not None and shots <= 0:
             raise ValueError("shots must be positive")
+        logical_measured = None
+        device_fingerprint = None
+        if device is not None:
+            compiled = self.compile(circuit, device)
+            circuit = compiled.circuit
+            logical_measured = list(compiled.logical_measurement_layout)
+            device_fingerprint = device.fingerprint()
         if self.compact:
             compact, active = circuit.compact_qubits()
             if len(active) < circuit.num_qubits:
@@ -638,6 +698,9 @@ class ExecutionEngine:
                 if resolved == "trajectory"
                 else None
             )
+            # The trailing device component keeps device-compiled and plain
+            # logical submissions apart even in the (identity-compile) case
+            # where the physical circuit's structure equals the logical one.
             key = (
                 fingerprint,
                 self._noise_fingerprint(noise),
@@ -646,6 +709,7 @@ class ExecutionEngine:
                 derived_seed,
                 max_trajectories if resolved == "trajectory" else None,
                 key_fusion,
+                device_fingerprint,
             )
         return _Prepared(
             compact=compact,
@@ -658,6 +722,7 @@ class ExecutionEngine:
             key=key,
             fingerprint=fingerprint,
             fusion=fusion,
+            logical_measured=logical_measured,
         )
 
     def _noise_fingerprint(self, noise_model: NoiseModel) -> str:
@@ -797,6 +862,11 @@ class ExecutionEngine:
             distribution = source.distribution.copy()
             counts = source.counts.copy() if source.counts is not None else None
             measured_qubits = [request.active[q] for q in source.measured_qubits]
+        if request.logical_measured is not None:
+            # Device-compiled request: bits already ride the logical clbits
+            # through the routed permutation; report the logical qubits the
+            # caller submitted, not the physical wires they landed on.
+            measured_qubits = list(request.logical_measured)
         return ExecutionResult(
             distribution=distribution,
             measured_qubits=measured_qubits,

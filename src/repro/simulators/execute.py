@@ -114,6 +114,7 @@ def execute_many(
     fusion: bool = True,
     workers: int | None = None,
     cache_dir: str | None = None,
+    device=None,
 ) -> list[ExecutionResult]:
     """Run a batch of circuits through a fresh :class:`ExecutionEngine`.
 
@@ -140,4 +141,5 @@ def execute_many(
             seed=seed,
             method=method,
             max_trajectories=max_trajectories,
+            device=device,
         )

@@ -1,4 +1,10 @@
-"""Lightweight transpiler: basis translation, noise-aware layout, routing."""
+"""Hardware-aware transpiler: a pass pipeline over layout, routing and basis.
+
+``transpile()`` runs the preset pipeline; :mod:`repro.transpiler.passes`
+exposes the individual passes for custom :class:`PassManager`s; the
+:class:`CompilationCache` makes repeated compilation free (the execution
+engine owns one per device-aware workload).
+"""
 
 from .basis import (
     BASIS_GATES,
@@ -6,10 +12,26 @@ from .basis import (
     decompose_to_basis,
     euler_zyz_angles,
 )
+from .compilation import CompilationCache, CompiledCircuit
 from .coupling import CouplingMap
 from .layout import Layout, noise_aware_layout, trivial_layout
-from .routing import route_circuit
-from .transpile import TranspileResult, transpile
+from .passes import (
+    AnalysisPass,
+    ApplyLayout,
+    BasisTranslation,
+    GateCountAnalysis,
+    NoiseAwareLayoutPass,
+    Pass,
+    PassManager,
+    Peephole1QMerge,
+    PropertySet,
+    SabreRouting,
+    SetLayout,
+    TransformationPass,
+    TrivialLayoutPass,
+)
+from .routing import RoutedCircuit, RoutingBudgetExceeded, route_circuit, sabre_route
+from .transpile import TranspileResult, build_preset_pipeline, transpile
 
 __all__ = [
     "BASIS_GATES",
@@ -21,6 +43,25 @@ __all__ = [
     "noise_aware_layout",
     "trivial_layout",
     "route_circuit",
+    "sabre_route",
+    "RoutedCircuit",
+    "RoutingBudgetExceeded",
     "transpile",
+    "build_preset_pipeline",
     "TranspileResult",
+    "CompilationCache",
+    "CompiledCircuit",
+    "Pass",
+    "AnalysisPass",
+    "TransformationPass",
+    "PassManager",
+    "PropertySet",
+    "SetLayout",
+    "TrivialLayoutPass",
+    "NoiseAwareLayoutPass",
+    "ApplyLayout",
+    "SabreRouting",
+    "Peephole1QMerge",
+    "BasisTranslation",
+    "GateCountAnalysis",
 ]

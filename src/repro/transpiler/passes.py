@@ -1,0 +1,380 @@
+"""The transpiler pass pipeline: ``Pass``, ``PropertySet``, ``PassManager``.
+
+The transpiler is organised like Qiskit's: a **pass** is one unit of work
+over a circuit — either an *analysis* pass that records facts into a shared
+:class:`PropertySet`, or a *transformation* pass that rewrites the circuit
+(and may record stats about what it did).  A :class:`PassManager` runs an
+ordered list of passes and hands back the final circuit together with the
+property set, which carries the initial/final layouts, per-pass statistics,
+and anything else downstream consumers (the engine's
+:class:`~repro.transpiler.CompilationCache`, QuTracer's overhead accounting)
+want to read.
+
+``PassManager.signature()`` is a content-style identity of the *pipeline
+configuration* (pass names + their parameters, never the device or circuit)
+— it is one of the three components of the compilation-cache key, so two
+engines configured with the same preset share compiled artifacts while a
+changed routing seed or disabled basis translation gets its own address.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from .basis import decompose_to_basis
+from .coupling import CouplingMap
+from .layout import Layout, noise_aware_layout, trivial_layout
+from .routing import sabre_route
+
+__all__ = [
+    "PropertySet",
+    "Pass",
+    "AnalysisPass",
+    "TransformationPass",
+    "PassManager",
+    "SetLayout",
+    "TrivialLayoutPass",
+    "NoiseAwareLayoutPass",
+    "ApplyLayout",
+    "SabreRouting",
+    "Peephole1QMerge",
+    "BasisTranslation",
+    "GateCountAnalysis",
+]
+
+
+class PropertySet(dict):
+    """Shared blackboard the passes read from and write to.
+
+    Well-known keys:
+
+    ``device`` / ``coupling_map``
+        The compilation target, seeded by :func:`~repro.transpiler.transpile`.
+    ``layout``
+        :class:`~repro.transpiler.Layout`, logical qubit -> physical qubit
+        *at circuit start* (routing preconditioning may refine it).
+    ``final_layout``
+        logical qubit -> physical qubit *after the last instruction* — the
+        permutation consumers need to translate unmeasured outputs; measured
+        outputs ride on clbits and are permutation-free by construction.
+    ``routing`` / ``basis`` / ``peephole`` / ``gate_counts`` ...
+        Per-pass statistics dictionaries (see each pass).
+    """
+
+
+class Pass:
+    """One unit of transpilation work.
+
+    Subclasses set ``name`` and implement :meth:`run`.  Parameters that
+    change the output must appear in :meth:`signature` — the pipeline
+    signature is a compilation-cache key component.
+    """
+
+    name = "pass"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit | None:
+        raise NotImplementedError
+
+    def _config(self) -> dict:
+        """Parameters that are part of this pass's identity."""
+        return {}
+
+    def signature(self) -> str:
+        config = self._config()
+        if not config:
+            return self.name
+        rendered = ",".join(f"{k}={config[k]!r}" for k in sorted(config))
+        return f"{self.name}({rendered})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.signature()}>"
+
+
+class AnalysisPass(Pass):
+    """A pass that inspects the circuit and records facts; never rewrites."""
+
+
+class TransformationPass(Pass):
+    """A pass that returns a rewritten circuit (and may record stats)."""
+
+
+class PassManager:
+    """Runs an ordered list of passes over one circuit."""
+
+    def __init__(self, passes: list[Pass] | tuple[Pass, ...] = (), name: str = "custom") -> None:
+        self.passes: list[Pass] = list(passes)
+        self.name = name
+
+    def append(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(
+        self, circuit: QuantumCircuit, properties: PropertySet | None = None
+    ) -> tuple[QuantumCircuit, PropertySet]:
+        properties = properties if properties is not None else PropertySet()
+        current = circuit
+        for pass_ in self.passes:
+            result = pass_.run(current, properties)
+            if result is not None:
+                if isinstance(pass_, AnalysisPass):
+                    raise TypeError(f"analysis pass {pass_.name!r} returned a circuit")
+                current = result
+        return current, properties
+
+    def signature(self) -> str:
+        """Content identity of the pipeline configuration (not the target)."""
+        return "|".join(p.signature() for p in self.passes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PassManager({self.name!r}, passes=[{self.signature()}])"
+
+
+# ---------------------------------------------------------------------------
+# Layout passes
+# ---------------------------------------------------------------------------
+
+class SetLayout(AnalysisPass):
+    """Pin a user-provided initial layout."""
+
+    name = "set_layout"
+
+    def __init__(self, layout: Layout | dict[int, int]) -> None:
+        self.layout = layout if isinstance(layout, Layout) else Layout(dict(layout))
+
+    def _config(self) -> dict:
+        return {"layout": tuple(sorted(self.layout.logical_to_physical.items()))}
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties["layout"] = self.layout
+
+
+class TrivialLayoutPass(AnalysisPass):
+    """logical ``i`` -> physical ``i``."""
+
+    name = "trivial_layout"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties["layout"] = trivial_layout(circuit)
+
+
+class NoiseAwareLayoutPass(AnalysisPass):
+    """Calibration-driven placement (QuTracer's qubit-remapping heuristic).
+
+    Reads the device from ``properties["device"]``; falls back to the
+    trivial layout when compiling without one.
+    """
+
+    name = "noise_aware_layout"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        device = properties.get("device")
+        if device is None:
+            properties["layout"] = trivial_layout(circuit)
+        else:
+            properties["layout"] = noise_aware_layout(circuit, device)
+
+
+class ApplyLayout(TransformationPass):
+    """Re-express the circuit on physical wires according to ``layout``."""
+
+    name = "apply_layout"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit | None:
+        layout: Layout = properties.get("layout") or trivial_layout(circuit)
+        properties["layout"] = layout
+        properties.setdefault("final_layout", layout)
+        coupling: CouplingMap | None = properties.get("coupling_map")
+        if coupling is not None:
+            num_physical = coupling.num_qubits
+        elif layout.logical_to_physical:
+            num_physical = max(
+                [circuit.num_qubits] + [p + 1 for p in layout.physical_qubits()]
+            )
+        else:
+            num_physical = circuit.num_qubits
+        identity = layout.logical_to_physical == {q: q for q in range(circuit.num_qubits)}
+        if identity and num_physical == circuit.num_qubits:
+            return None
+        return layout.apply(circuit, num_physical)
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+class SabreRouting(TransformationPass):
+    """SABRE-style lookahead SWAP insertion (see :mod:`repro.transpiler.routing`).
+
+    With ``bidirectional=True`` the router first runs a forward and a
+    reverse pass to *precondition* the initial permutation (the classic
+    SABRE trick): the reverse pass's final permutation becomes the forward
+    pass's starting point, which consistently removes SWAPs on circuits
+    whose hot pairs only meet late.  The preconditioned permutation is
+    composed into ``properties["layout"]`` so layout bookkeeping stays
+    truthful; ``properties["final_layout"]`` tracks the end-of-circuit
+    permutation.  Statistics land in ``properties["routing"]``.
+    """
+
+    name = "sabre_routing"
+
+    def __init__(
+        self,
+        seed: int | None = 0,
+        max_swaps: int | None = None,
+        lookahead: int | None = None,
+        bidirectional: bool = False,
+    ) -> None:
+        self.seed = 0 if seed is None else int(seed)
+        self.max_swaps = max_swaps
+        self.lookahead = lookahead
+        self.bidirectional = bool(bidirectional)
+
+    def _config(self) -> dict:
+        return {
+            "seed": self.seed,
+            "max_swaps": self.max_swaps,
+            "lookahead": self.lookahead,
+            "bidirectional": self.bidirectional,
+        }
+
+    def _route(self, circuit, coupling, initial_position=None):
+        kwargs = {}
+        if self.lookahead is not None:
+            kwargs["lookahead"] = self.lookahead
+        return sabre_route(
+            circuit,
+            coupling,
+            max_swaps=self.max_swaps,
+            seed=self.seed,
+            initial_position=initial_position,
+            **kwargs,
+        )
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit | None:
+        coupling: CouplingMap | None = properties.get("coupling_map")
+        layout: Layout = properties.get("layout") or trivial_layout(circuit)
+        if coupling is None:
+            properties["final_layout"] = layout
+            return None
+
+        routed = self._route(circuit, coupling)
+        if self.bidirectional and routed.swaps_inserted > 0:
+            # Reverse preconditioning: route the mirrored gate stream from
+            # the forward pass's end state; its final permutation is a good
+            # *initial* permutation for the real pass (every wire starts in
+            # |0>, so re-seating wires is free — only bookkeeping moves).
+            reverse = QuantumCircuit(circuit.num_qubits, 0, f"{circuit.name}_rev")
+            for inst in reversed(circuit.remove_final_measurements().data):
+                reverse.append_instruction(inst)
+            backward = self._route(reverse, coupling, initial_position=routed.final_position)
+            candidate = self._route(circuit, coupling, initial_position=backward.final_position)
+            if candidate.swaps_inserted < routed.swaps_inserted:
+                routed = candidate
+
+        composed = Layout(
+            {
+                logical: routed.initial_position[physical]
+                for logical, physical in layout.logical_to_physical.items()
+            }
+        )
+        final = Layout(
+            {
+                logical: routed.final_position[physical]
+                for logical, physical in layout.logical_to_physical.items()
+            }
+        )
+        properties["layout"] = composed
+        properties["final_layout"] = final
+        properties["routing"] = {
+            "swaps_inserted": routed.swaps_inserted,
+            "seed": self.seed,
+            "bidirectional": self.bidirectional,
+        }
+        return routed.circuit
+
+
+# ---------------------------------------------------------------------------
+# Peephole + basis translation
+# ---------------------------------------------------------------------------
+
+class Peephole1QMerge(TransformationPass):
+    """Merge runs of adjacent single-qubit gates into one unitary each.
+
+    A pre-basis peephole: runs of 1q gates collapse to a single
+    ``UnitaryGate`` (dropped entirely when the product is the identity up
+    to phase), so later passes see the shortest equivalent gate stream.
+    Statistics land in ``properties["peephole"]``.
+    """
+
+    name = "peephole_1q"
+
+    _ATOL = 1e-9
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        out.metadata = dict(circuit.metadata)
+        pending: dict[int, np.ndarray] = {}
+        merged_away = 0
+        pending_counts: dict[int, int] = {}
+
+        def flush(qubit: int) -> None:
+            nonlocal merged_away
+            matrix = pending.pop(qubit, None)
+            count = pending_counts.pop(qubit, 0)
+            if matrix is None:
+                return
+            if np.allclose(matrix, matrix[0, 0] * np.eye(2), atol=self._ATOL):
+                merged_away += count  # the whole run was the identity
+                return
+            out.unitary(matrix, (qubit,), name="u1q")
+            merged_away += count - 1
+
+        for inst in circuit.data:
+            if inst.is_gate and len(inst.qubits) == 1:
+                qubit = inst.qubits[0]
+                pending[qubit] = inst.operation.matrix @ pending.get(
+                    qubit, np.eye(2, dtype=complex)
+                )
+                pending_counts[qubit] = pending_counts.get(qubit, 0) + 1
+                continue
+            for qubit in inst.qubits:
+                flush(qubit)
+            out.append_instruction(inst)
+        for qubit in list(pending):
+            flush(qubit)
+        properties["peephole"] = {"gates_merged": merged_away}
+        return out
+
+
+class BasisTranslation(TransformationPass):
+    """Rewrite into the device basis {rz, sx, x, cx} (see :mod:`.basis`).
+
+    Includes 1q-run merging through Euler angles and adjacent-CX
+    cancellation; statistics land in ``properties["basis"]``.
+    """
+
+    name = "basis_translation"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> QuantumCircuit:
+        translated = decompose_to_basis(circuit)
+        properties["basis"] = {
+            "two_qubit_gates": sum(
+                1 for inst in translated.data if inst.is_two_qubit_gate
+            ),
+        }
+        return translated
+
+
+class GateCountAnalysis(AnalysisPass):
+    """Record final gate statistics (the paper's post-transpile metrics)."""
+
+    name = "gate_counts"
+
+    def run(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties["gate_counts"] = dict(circuit.count_ops())
+        properties["two_qubit_gate_count"] = sum(
+            1 for inst in circuit.data if inst.is_two_qubit_gate
+        )
+        properties["depth"] = circuit.depth()

@@ -1,84 +1,303 @@
-"""SWAP routing for circuits whose two-qubit gates span non-adjacent qubits."""
+"""SWAP routing for circuits whose two-qubit gates span non-adjacent qubits.
+
+The router is SABRE-style [Li, Ding, Xie — ASPLOS'19]: instead of greedily
+walking one operand along a shortest path, it keeps the *front layer* of
+ready two-qubit gates plus a bounded lookahead window of their successors,
+scores every candidate SWAP on the coupling edges touching the front layer
+by the distance it saves across both sets, and applies the best one.  A
+decay factor on recently-swapped qubits breaks ping-pong cycles, and ties
+are broken by a seeded RNG so routing is deterministic for a given seed.
+
+Used standalone via :func:`route_circuit` / :func:`sabre_route`, or as the
+:class:`~repro.transpiler.passes.SabreRouting` pass inside a
+:class:`~repro.transpiler.passes.PassManager` (which additionally runs
+reverse preconditioning passes to settle the initial permutation).
+"""
 
 from __future__ import annotations
 
-import networkx as nx
+import dataclasses
 
-from ..circuits import QuantumCircuit
+import numpy as np
+
+from ..circuits import Instruction, QuantumCircuit
 from .coupling import CouplingMap
 
-__all__ = ["route_circuit"]
+__all__ = ["route_circuit", "sabre_route", "RoutedCircuit", "RoutingBudgetExceeded"]
+
+#: Weight of the lookahead window relative to the front layer in the SWAP score.
+LOOKAHEAD_WEIGHT = 0.5
+
+#: Number of upcoming two-qubit gates considered beyond the front layer.
+DEFAULT_LOOKAHEAD = 20
+
+#: Per-use decay penalty discouraging the router from moving one qubit forever.
+DECAY_RATE = 0.001
 
 
-def route_circuit(
-    circuit: QuantumCircuit, coupling: CouplingMap, max_swaps: int | None = None
-) -> QuantumCircuit:
-    """Insert SWAPs so every two-qubit gate acts on coupled qubits.
+class RoutingBudgetExceeded(RuntimeError):
+    """The router hit its SWAP budget before every gate became executable.
 
-    A simple greedy router: when a gate's operands are not adjacent, the
-    first operand is swapped along the shortest path until it neighbours the
-    second.  The logical-to-physical assignment therefore drifts during the
-    circuit; measurements are rewritten so the measured *logical* bits stay
-    the same, which is what the fidelity comparison needs.
+    Carries the partial progress so callers can report *how far* routing got
+    instead of only that it failed: ``swaps_inserted`` is the number of SWAPs
+    applied before the budget tripped, ``max_swaps`` the budget itself.
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    guarded the previous hard-budget failure mode.
+    """
 
-    ``max_swaps`` bounds the total number of inserted SWAPs; the default
-    budget is ``num_qubits`` SWAPs per two-qubit gate, which every shortest
-    path fits inside (a path on the coupling graph has at most
-    ``num_qubits - 1`` edges).  The router raises :class:`RuntimeError` if
-    the budget is ever exceeded, so a routing bug fails loudly instead of
-    looping forever.  Gates between disconnected qubits raise
-    :class:`ValueError`.
+    def __init__(self, swaps_inserted: int, max_swaps: int) -> None:
+        self.swaps_inserted = swaps_inserted
+        self.max_swaps = max_swaps
+        super().__init__(
+            f"router exceeded its budget of {max_swaps} SWAPs after inserting "
+            f"{swaps_inserted}; the routing is not converging (this is a bug or "
+            "an adversarial coupling map — raise max_swaps only if the budget "
+            "is genuinely too small)"
+        )
+
+
+@dataclasses.dataclass
+class RoutedCircuit:
+    """Output of :func:`sabre_route`.
+
+    ``initial_position`` / ``final_position`` map each virtual wire of the
+    input circuit to the physical wire holding it before the first and after
+    the last instruction.  Measurements are rewritten during routing so a
+    virtual wire's classical bit is unchanged — the distribution over clbits
+    is invariant; the positions are for *layout bookkeeping* (which physical
+    qubit's calibration a logical qubit experienced).
+    """
+
+    circuit: QuantumCircuit
+    initial_position: dict[int, int]
+    final_position: dict[int, int]
+    swaps_inserted: int
+
+
+def sabre_route(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    max_swaps: int | None = None,
+    seed: int | None = 0,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    initial_position: dict[int, int] | None = None,
+) -> RoutedCircuit:
+    """Route ``circuit`` onto ``coupling`` with SABRE-style lookahead.
+
+    Parameters
+    ----------
+    max_swaps:
+        Budget on inserted SWAPs; the default is ``num_qubits`` SWAPs per
+        two-qubit gate, which any sane routing fits inside (one shortest
+        path has at most ``num_qubits - 1`` edges).  Exceeding it raises
+        :class:`RoutingBudgetExceeded` (a :class:`RuntimeError`) carrying
+        the partial SWAP count.  Gates between disconnected qubits raise
+        :class:`ValueError`.
+    seed:
+        Tie-break seed.  Candidate SWAPs with equal scores are resolved by
+        a generator seeded with this value, so routing is a deterministic
+        function of ``(circuit, coupling, seed)``; ``None`` falls back to
+        seed 0 (never OS entropy — routing feeds content-addressed caches).
+    lookahead:
+        How many two-qubit gates beyond the front layer contribute to the
+        SWAP score (the extended set).
+    initial_position:
+        Starting virtual-wire -> physical-wire permutation (identity by
+        default).  Every wire starts in ``|0>``, so any permutation is
+        semantically equivalent; this is how the bidirectional
+        preconditioning passes of :class:`~repro.transpiler.passes.SabreRouting`
+        feed one pass's final permutation into the next.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise ValueError("circuit does not fit on the coupling map")
     if max_swaps is None:
         num_two_qubit_gates = sum(1 for inst in circuit.data if inst.is_two_qubit_gate)
         max_swaps = coupling.num_qubits * max(num_two_qubit_gates, 1)
-    # position[logical] = physical wire currently holding that logical qubit
+    rng = np.random.default_rng(0 if seed is None else seed)
+
+    # position[virtual wire] = physical wire currently holding it.
     position = {q: q for q in range(coupling.num_qubits)}
+    if initial_position is not None:
+        position.update({int(v): int(p) for v, p in initial_position.items()})
+        if len(set(position.values())) != len(position):
+            raise ValueError("initial_position is not a permutation")
+    start_position = dict(position)
+
+    # Wire-dependency DAG: an instruction depends on the previous user of
+    # each of its qubit and clbit wires.
+    instructions = list(circuit.data)
+    num_predecessors = [0] * len(instructions)
+    successors: list[list[int]] = [[] for _ in instructions]
+    last_user: dict[tuple[str, int], int] = {}
+    for index, inst in enumerate(instructions):
+        wires = [("q", q) for q in inst.qubits] + [("c", c) for c in inst.clbits]
+        for wire in wires:
+            previous = last_user.get(wire)
+            if previous is not None:
+                successors[previous].append(index)
+                num_predecessors[index] += 1
+            last_user[wire] = index
+
     routed = QuantumCircuit(coupling.num_qubits, circuit.num_clbits, f"{circuit.name}_routed")
     routed.metadata = dict(circuit.metadata)
     swaps_used = 0
+    # Decay factors discourage moving the same qubit repeatedly; reset after
+    # every executed gate so they only shape one stuck episode at a time.
+    decay = np.ones(coupling.num_qubits)
 
-    def physical(logical: int) -> int:
-        return position[logical]
+    front = [i for i in range(len(instructions)) if num_predecessors[i] == 0]
+    remaining_predecessors = list(num_predecessors)
 
-    def swap(a_physical: int, b_physical: int) -> None:
-        nonlocal swaps_used
+    # Measurements are deferred and emitted at each logical qubit's *final*
+    # position: the simulators read measured bits off the end-of-circuit
+    # state, so a measurement must name the wire its qubit ends up on, not
+    # the wire it happened to occupy when the measurement became ready
+    # (later SWAPs may route other traffic through that wire).
+    deferred_measurements: list[int] = []
+
+    def emit(index: int) -> None:
+        inst = instructions[index]
+        if inst.is_measurement:
+            deferred_measurements.append(index)
+        else:
+            routed.append(inst.operation, tuple(position[q] for q in inst.qubits))
+
+    def executable(index: int) -> bool:
+        inst = instructions[index]
+        if len(inst.qubits) < 2 or inst.is_barrier:
+            return True
+        if len(inst.qubits) == 2:
+            return coupling.are_adjacent(position[inst.qubits[0]], position[inst.qubits[1]])
+        raise NotImplementedError("route two-qubit circuits only (decompose first)")
+
+    def extended_set(front_indices: list[int]) -> list[int]:
+        """Up to ``lookahead`` two-qubit successors of the front layer."""
+        collected: list[int] = []
+        seen = set(front_indices)
+        queue = list(front_indices)
+        while queue and len(collected) < lookahead:
+            node = queue.pop(0)
+            for successor in successors[node]:
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                queue.append(successor)
+                if instructions[successor].is_two_qubit_gate:
+                    collected.append(successor)
+                    if len(collected) >= lookahead:
+                        break
+        return collected
+
+    def distance(a_physical: int, b_physical: int) -> int:
+        return coupling.distance(a_physical, b_physical)  # raises for disconnected pairs
+
+    while front:
+        # Flush everything executable (1q gates, measurements, barriers and
+        # adjacent 2q gates), unlocking successors as their predecessors run.
+        progressed = True
+        while progressed:
+            progressed = False
+            next_front: list[int] = []
+            for index in sorted(front):
+                if executable(index):
+                    emit(index)
+                    progressed = True
+                    for successor in successors[index]:
+                        remaining_predecessors[successor] -= 1
+                        if remaining_predecessors[successor] == 0:
+                            next_front.append(successor)
+                else:
+                    next_front.append(index)
+            front = next_front
+            if progressed:
+                decay[:] = 1.0
+        if not front:
+            break
+
+        # Every front instruction is a blocked two-qubit gate: pick a SWAP.
+        blocked = sorted(front)
+        lookahead_gates = extended_set(blocked)
+        candidate_edges: list[tuple[int, int]] = []
+        involved_physical = {
+            position[q] for index in blocked for q in instructions[index].qubits
+        }
+        for edge in coupling.edges:
+            if edge[0] in involved_physical or edge[1] in involved_physical:
+                candidate_edges.append(edge)
+        if not candidate_edges:
+            # A blocked gate whose operands have no incident couplers can
+            # never become adjacent (isolated vertices).
+            raise ValueError(
+                "qubits of a blocked two-qubit gate are not connected on the "
+                "coupling map; the gate cannot be routed"
+            )
+
+        # position is fixed for the whole selection round; build its
+        # inverse once and overlay the two moved wires per candidate
+        # instead of copying the dict per edge (the router's hot loop).
+        inverse = {p: v for v, p in position.items()}
+
+        def score(edge: tuple[int, int]) -> float:
+            a, b = edge
+            va, vb = inverse.get(a), inverse.get(b)
+
+            def where(virtual: int) -> int:
+                if virtual == va:
+                    return b
+                if virtual == vb:
+                    return a
+                return position[virtual]
+
+            front_cost = sum(
+                distance(where(instructions[i].qubits[0]), where(instructions[i].qubits[1]))
+                for i in blocked
+            ) / len(blocked)
+            future_cost = 0.0
+            if lookahead_gates:
+                future_cost = LOOKAHEAD_WEIGHT * sum(
+                    distance(where(instructions[i].qubits[0]), where(instructions[i].qubits[1]))
+                    for i in lookahead_gates
+                ) / len(lookahead_gates)
+            return max(decay[a], decay[b]) * (front_cost + future_cost)
+
+        scores = [(score(edge), edge) for edge in candidate_edges]
+        best_score = min(s for s, _ in scores)
+        best_edges = sorted(edge for s, edge in scores if s <= best_score + 1e-12)
+        chosen = best_edges[int(rng.integers(len(best_edges)))]
+
         swaps_used += 1
         if swaps_used > max_swaps:
-            raise RuntimeError(
-                f"router exceeded its budget of {max_swaps} SWAPs; the greedy "
-                "routing is not converging (this is a bug or an adversarial "
-                "coupling map — raise max_swaps only if the budget is genuinely "
-                "too small)"
-            )
-        routed.swap(a_physical, b_physical)
-        inverse = {v: k for k, v in position.items()}
-        logical_a, logical_b = inverse[a_physical], inverse[b_physical]
-        position[logical_a], position[logical_b] = b_physical, a_physical
+            raise RoutingBudgetExceeded(swaps_used - 1, max_swaps)
+        a, b = chosen
+        routed.swap(a, b)
+        decay[a] += DECAY_RATE
+        decay[b] += DECAY_RATE
+        va, vb = inverse[a], inverse[b]
+        position[va], position[vb] = b, a
 
-    for inst in circuit.data:
-        if inst.is_barrier:
-            continue
-        if inst.is_measurement:
-            routed.measure(physical(inst.qubits[0]), inst.clbits[0])
-            continue
-        if len(inst.qubits) == 1:
-            routed.append(inst.operation, (physical(inst.qubits[0]),))
-            continue
-        if len(inst.qubits) == 2:
-            a, b = inst.qubits
-            while not coupling.are_adjacent(physical(a), physical(b)):
-                try:
-                    path = coupling.shortest_path(physical(a), physical(b))
-                except nx.NetworkXNoPath as exc:
-                    raise ValueError(
-                        f"qubits {physical(a)} and {physical(b)} are not connected "
-                        "on the coupling map; the gate cannot be routed"
-                    ) from exc
-                swap(path[0], path[1])
-            routed.append(inst.operation, (physical(a), physical(b)))
-            continue
-        raise NotImplementedError("route two-qubit circuits only (decompose first)")
-    return routed
+    for index in sorted(deferred_measurements):
+        inst = instructions[index]
+        routed.measure(position[inst.qubits[0]], inst.clbits[0])
+
+    return RoutedCircuit(
+        circuit=routed,
+        initial_position=start_position,
+        final_position=dict(position),
+        swaps_inserted=swaps_used,
+    )
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    max_swaps: int | None = None,
+    seed: int | None = 0,
+) -> QuantumCircuit:
+    """Insert SWAPs so every two-qubit gate acts on coupled qubits.
+
+    Convenience wrapper over :func:`sabre_route` returning only the routed
+    circuit.  Measurements are rewritten so the measured *logical* bits stay
+    the same, which is what the fidelity comparison needs; the budget and
+    determinism semantics are documented on :func:`sabre_route`.
+    """
+    return sabre_route(circuit, coupling, max_swaps=max_swaps, seed=seed).circuit

@@ -1,28 +1,83 @@
-"""The transpilation entry point: layout -> routing -> basis translation."""
+"""The transpilation entry point: a preset pass pipeline.
+
+``transpile()`` builds the standard hardware-aware pipeline —
+
+    layout (noise-aware / user / trivial)
+    -> apply layout
+    -> SABRE routing (with bidirectional preconditioning when the layout
+       carries no calibration information)
+    -> 1q peephole merge
+    -> basis translation {rz, sx, x, cx}
+    -> gate-count analysis
+
+— as a :class:`~repro.transpiler.passes.PassManager` and runs it.  Use
+:func:`build_preset_pipeline` to get the manager itself (the engine's
+:class:`~repro.transpiler.CompilationCache` keys compiled artifacts on its
+``signature()``), or compose a custom ``PassManager`` from the passes in
+:mod:`repro.transpiler.passes`.
+"""
 
 from __future__ import annotations
 
 from ..circuits import QuantumCircuit
 from ..noise.device import DeviceModel
-from .basis import count_two_qubit_basis_gates, decompose_to_basis
 from .coupling import CouplingMap
-from .layout import Layout, noise_aware_layout, trivial_layout
-from .routing import route_circuit
+from .layout import Layout, trivial_layout
+from .passes import (
+    ApplyLayout,
+    BasisTranslation,
+    GateCountAnalysis,
+    NoiseAwareLayoutPass,
+    PassManager,
+    Peephole1QMerge,
+    PropertySet,
+    SabreRouting,
+    SetLayout,
+    TrivialLayoutPass,
+)
 
-__all__ = ["transpile", "TranspileResult"]
+__all__ = ["transpile", "build_preset_pipeline", "TranspileResult"]
 
 
 class TranspileResult:
-    """A transpiled circuit together with its layout and gate statistics."""
+    """A transpiled circuit with its layouts, stats and provenance.
 
-    def __init__(self, circuit: QuantumCircuit, layout: Layout, original: QuantumCircuit) -> None:
+    ``layout`` maps logical -> physical qubit at circuit *start* (after any
+    routing preconditioning); ``final_layout`` maps logical -> physical at
+    circuit *end* — the permutation left behind by routed SWAPs.  Measured
+    outputs ride on classical bits and are permutation-free; unmeasured
+    outputs must be read through ``final_layout``.  ``property_set`` carries
+    the per-pass statistics recorded during the run.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        layout: Layout,
+        original: QuantumCircuit,
+        final_layout: Layout | None = None,
+        property_set: PropertySet | None = None,
+    ) -> None:
         self.circuit = circuit
         self.layout = layout
+        self.final_layout = final_layout if final_layout is not None else layout
         self.original = original
+        self.property_set = property_set if property_set is not None else PropertySet()
 
     @property
     def two_qubit_gate_count(self) -> int:
-        return self.circuit.count_ops().get("cx", 0) + self.circuit.count_ops().get("cz", 0)
+        """Two-qubit gates in the transpiled circuit, counted by arity.
+
+        Counting by instruction arity (rather than a ``{cx, cz}`` name set)
+        keeps non-CX basis sets and un-translated routed SWAPs honest — a
+        SWAP that survives to the output is two-qubit work the device must
+        execute, whatever its name.
+        """
+        return sum(1 for inst in self.circuit.data if inst.is_two_qubit_gate)
+
+    @property
+    def swaps_inserted(self) -> int:
+        return self.property_set.get("routing", {}).get("swaps_inserted", 0)
 
     @property
     def depth(self) -> int:
@@ -31,8 +86,52 @@ class TranspileResult:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"TranspileResult(two_qubit_gates={self.two_qubit_gate_count}, depth={self.depth}, "
-            f"layout={self.layout.logical_to_physical})"
+            f"layout={self.layout.logical_to_physical}, "
+            f"final_layout={self.final_layout.logical_to_physical})"
         )
+
+
+def build_preset_pipeline(
+    noise_aware: bool = True,
+    initial_layout: Layout | dict[int, int] | None = None,
+    basis: bool = True,
+    route: bool = True,
+    seed: int = 0,
+    bidirectional: bool | None = None,
+) -> PassManager:
+    """The standard pipeline as a :class:`~repro.transpiler.passes.PassManager`.
+
+    The manager is target-agnostic: the device and coupling map are read
+    from the property set at run time (seed them like :func:`transpile`
+    does), so one pipeline's ``signature()`` identifies the *configuration*
+    across every device it compiles for.  ``bidirectional`` defaults to
+    routing-preconditioning only when no calibration guided the layout
+    (a noise-aware placement should not be second-guessed by swap count).
+    """
+    passes: list = []
+    if initial_layout is not None:
+        passes.append(SetLayout(initial_layout))
+        layout_is_informed = True
+    elif noise_aware:
+        passes.append(NoiseAwareLayoutPass())
+        layout_is_informed = True
+    else:
+        passes.append(TrivialLayoutPass())
+        layout_is_informed = False
+    passes.append(ApplyLayout())
+    if route:
+        if bidirectional is None:
+            bidirectional = not layout_is_informed
+        passes.append(SabreRouting(seed=seed, bidirectional=bidirectional))
+    if basis:
+        # The 1q peephole rewrites named gates into merged unitaries, so it
+        # only runs when the gate stream is being rewritten anyway —
+        # ``basis=False`` preserves the input gates (plus routed SWAPs)
+        # name-for-name for callers that inspect them.
+        passes.append(Peephole1QMerge())
+        passes.append(BasisTranslation())
+    passes.append(GateCountAnalysis())
+    return PassManager(passes, name="preset")
 
 
 def transpile(
@@ -42,40 +141,32 @@ def transpile(
     initial_layout: Layout | dict[int, int] | None = None,
     basis: bool = True,
     route: bool = True,
+    seed: int = 0,
 ) -> TranspileResult:
-    """Map a logical circuit onto a device.
-
-    Steps (each optional):
-
-    1. **Layout** — noise-aware placement when a ``device`` is given
-       (otherwise trivial / user-provided layout);
-    2. **Routing** — SWAP insertion for non-adjacent two-qubit gates when a
-       coupling map is available;
-    3. **Basis translation** — decomposition into {rz, sx, x, cx} with
-       single-qubit merging and CX cancellation.
+    """Map a logical circuit onto a device through the preset pipeline.
 
     The same pipeline is applied to the original circuits and to QuTracer's
     optimized circuit copies, so the "2-qubit basis gate count" columns of
-    the result tables compare like with like.
+    the result tables compare like with like.  ``seed`` feeds the routing
+    tie-break RNG; compilation is a deterministic function of
+    ``(circuit, device/coupling, pipeline config)``.
     """
-    working = circuit
     if device is not None and coupling_map is None:
-        coupling_map = CouplingMap(device.coupling_edges, device.num_qubits)
-
-    if initial_layout is not None:
-        layout = initial_layout if isinstance(initial_layout, Layout) else Layout(initial_layout)
-    elif device is not None:
-        layout = noise_aware_layout(circuit, device)
-    else:
-        layout = trivial_layout(circuit)
-
-    if coupling_map is not None:
-        working = layout.apply(working, coupling_map.num_qubits)
-        if route:
-            working = route_circuit(working, coupling_map)
-    elif layout.logical_to_physical != {q: q for q in range(circuit.num_qubits)}:
-        working = layout.apply(working, max(layout.physical_qubits()) + 1)
-
-    if basis:
-        working = decompose_to_basis(working)
-    return TranspileResult(working, layout, circuit)
+        coupling_map = device.coupling_map()
+    manager = build_preset_pipeline(
+        noise_aware=device is not None,
+        initial_layout=initial_layout,
+        basis=basis,
+        route=route,
+        seed=seed,
+    )
+    properties = PropertySet(device=device, coupling_map=coupling_map)
+    compiled, properties = manager.run(circuit, properties)
+    layout = properties.get("layout") or trivial_layout(circuit)
+    return TranspileResult(
+        compiled,
+        layout,
+        circuit,
+        final_layout=properties.get("final_layout", layout),
+        property_set=properties,
+    )

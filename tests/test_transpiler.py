@@ -20,11 +20,13 @@ from repro.transpiler import (
     BASIS_GATES,
     CouplingMap,
     Layout,
+    RoutingBudgetExceeded,
     count_two_qubit_basis_gates,
     decompose_to_basis,
     euler_zyz_angles,
     noise_aware_layout,
     route_circuit,
+    sabre_route,
     transpile,
     trivial_layout,
 )
@@ -258,3 +260,66 @@ class TestRouterTermination:
         qc.cx(0, 3)
         with pytest.raises(ValueError, match="not connected"):
             route_circuit(qc, CouplingMap([(0, 1), (2, 3)]))
+
+
+class TestSabreRouter:
+    def _dense_circuit(self):
+        qc = qft_circuit(5)
+        qc.measure_all()
+        return qc
+
+    def test_same_seed_is_deterministic(self):
+        coupling = CouplingMap(linear_coupling(5))
+        a = route_circuit(self._dense_circuit(), coupling, seed=3)
+        b = route_circuit(self._dense_circuit(), coupling, seed=3)
+        assert [(i.name, i.qubits, i.clbits) for i in a.data] == [
+            (i.name, i.qubits, i.clbits) for i in b.data
+        ]
+
+    def test_different_seeds_both_route_correctly(self):
+        coupling = CouplingMap(linear_coupling(5))
+        circuit = self._dense_circuit()
+        ideal = ideal_distribution(circuit)
+        for seed in (0, 1, 2):
+            routed = route_circuit(circuit, coupling, seed=seed)
+            for inst in routed.data:
+                if inst.is_two_qubit_gate:
+                    assert coupling.are_adjacent(*inst.qubits)
+            assert hellinger_fidelity(ideal, ideal_distribution(routed)) == pytest.approx(1.0)
+
+    def test_budget_error_carries_partial_swap_count(self):
+        qc = QuantumCircuit(5)
+        qc.cx(0, 4)
+        with pytest.raises(RoutingBudgetExceeded) as excinfo:
+            route_circuit(qc, CouplingMap(linear_coupling(5)), max_swaps=2)
+        assert excinfo.value.swaps_inserted == 2
+        assert excinfo.value.max_swaps == 2
+        assert isinstance(excinfo.value, RuntimeError)  # compatibility contract
+
+    def test_routed_positions_are_tracked(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3).cx(0, 1)
+        qc.measure_all()
+        routed = sabre_route(qc, CouplingMap(linear_coupling(4)), seed=0)
+        assert sorted(routed.final_position.values()) == list(range(4))
+        # Each measurement lands on the wire its logical qubit ends on.
+        for inst in routed.circuit.data:
+            if inst.is_measurement:
+                logical = inst.clbits[0]
+                assert inst.qubits[0] == routed.final_position[logical]
+
+    def test_lookahead_beats_or_matches_single_gate_routing(self):
+        # A chain of far gates: the lookahead router must stay within the
+        # budget and keep every gate on-coupler.
+        qc = QuantumCircuit(6)
+        for a, b in [(0, 5), (1, 4), (0, 3), (2, 5)]:
+            qc.cx(a, b)
+        qc.measure_all()
+        coupling = CouplingMap(linear_coupling(6))
+        routed = sabre_route(qc, coupling, seed=0)
+        for inst in routed.circuit.data:
+            if inst.is_two_qubit_gate:
+                assert coupling.are_adjacent(*inst.qubits)
+        assert hellinger_fidelity(
+            ideal_distribution(qc), ideal_distribution(routed.circuit)
+        ) == pytest.approx(1.0)
