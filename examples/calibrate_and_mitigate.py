@@ -189,8 +189,8 @@ def run_demo() -> dict:
     print(f"Jigsaw on the inverse QFT mapped to {tri}:")
     for tag, model in models:
         noise = model.noise_model_for_assignment(assignment3)
-        raw = execute(iqft, noise, shots=20000, seed=1)
-        jig = run_jigsaw(iqft, noise, shots=20000, subset_size=1, seed=1)
+        raw = execute(iqft, noise, shots=20000, seed=3)
+        jig = run_jigsaw(iqft, noise, shots=20000, subset_size=1, seed=3)
         results[f"jigsaw_{tag}_unmitigated"] = hellinger_fidelity(raw.distribution, ideal_iqft)
         results[f"jigsaw_{tag}_mitigated"] = hellinger_fidelity(
             jig.mitigated_distribution, ideal_iqft

@@ -81,6 +81,12 @@ class CalibrationRunner:
         A shared :class:`~repro.simulators.ExecutionEngine`, or knobs for
         the runner's own (closed deterministically via :meth:`close` /
         context manager, like the other engine consumers).
+    method:
+        Execution method forwarded to :meth:`ExecutionEngine.execute_many`
+        (default ``"auto"``).  Calibration circuits are pure Clifford, so
+        ``method="stabilizer"`` routes the whole RB / twirl sweep through
+        the tableau fast path — identical plan, identical fitting, sampled
+        counts instead of exact narrow-circuit distributions.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class CalibrationRunner:
         engine: ExecutionEngine | None = None,
         workers: int | None = None,
         cache_dir: str | None = None,
+        method: str = "auto",
     ) -> None:
         if shots < 1:
             raise ValueError("shots must be positive")
@@ -134,6 +141,7 @@ class CalibrationRunner:
         self.pauli_depths = tuple(int(m) for m in pauli_depths)
         self.pauli_samples = int(pauli_samples)
         self.readout_chunk_size = int(readout_chunk_size)
+        self.method = method
         self._owns_engine = engine is None
         self.engine = engine or ExecutionEngine(workers=workers, cache_dir=cache_dir)
         self._plan: list | None = None
@@ -209,6 +217,7 @@ class CalibrationRunner:
             self.noise_model,
             shots=self.shots,
             seed=self.seed,
+            method=self.method,
         )
         # Provenance wants *this run's* accounting; on a shared engine the
         # live counters are cumulative, so record the delta.

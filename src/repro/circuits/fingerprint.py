@@ -15,6 +15,7 @@ import hashlib
 import numpy as np
 
 from .circuit import QuantumCircuit
+from .operations import _StandardGate
 
 __all__ = ["circuit_fingerprint"]
 
@@ -25,7 +26,12 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
     Two circuits with the same wire counts and the same instruction stream
     (operation matrices, parameters, wire bindings) share a fingerprint
     regardless of object identity or name.  Gate matrices are hashed, so
-    ``UnitaryGate`` and ``StatePreparation`` contents are captured exactly.
+    ``UnitaryGate`` and ``StatePreparation`` contents are captured exactly —
+    except for standard-library gates, whose matrix is a pure function of
+    the (name, params) pair already in the digest; skipping their matrix
+    bytes cannot alias two distinct circuits (a custom gate reusing a
+    standard name still appends its matrix bytes and lands elsewhere) and
+    roughly halves fingerprint cost on calibration workloads.
     """
     digest = hashlib.sha256()
     digest.update(f"{circuit.num_qubits}|{circuit.num_clbits}".encode())
@@ -37,6 +43,6 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
             digest.update(repr(inst.clbits).encode())
         if op.params:
             digest.update(np.asarray(op.params, dtype=float).tobytes())
-        if inst.is_gate:
+        if inst.is_gate and type(op) is not _StandardGate:
             digest.update(np.ascontiguousarray(op.matrix).tobytes())
     return digest.hexdigest()

@@ -75,13 +75,26 @@ class Instruction:
         return self.is_gate and self.operation.num_qubits == 2
 
     def remap(self, qubit_map: dict[int, int], clbit_map: dict[int, int] | None = None) -> "Instruction":
-        """Return a copy of this instruction with wires renamed."""
-        new_qubits = tuple(qubit_map[q] for q in self.qubits)
-        if clbit_map is None:
-            new_clbits = self.clbits
-        else:
-            new_clbits = tuple(clbit_map.get(c, c) for c in self.clbits)
-        return Instruction(self.operation, new_qubits, new_clbits)
+        """Return a copy of this instruction with wires renamed.
+
+        The source instruction already passed ``__init__`` validation and
+        renaming preserves arity, so only injectivity of ``qubit_map`` can
+        introduce a new fault — that one check is kept and the rest of the
+        constructor is bypassed (remapping is the inner loop of
+        ``compact_qubits`` and transpiler layout application).
+        """
+        new_qubits = tuple(int(qubit_map[q]) for q in self.qubits)
+        if len(new_qubits) > 1 and len(set(new_qubits)) != len(new_qubits):
+            raise ValueError(f"duplicate qubit indices in {new_qubits}")
+        clone = object.__new__(Instruction)
+        clone.operation = self.operation
+        clone.qubits = new_qubits
+        clone.clbits = (
+            self.clbits
+            if clbit_map is None
+            else tuple(clbit_map.get(c, c) for c in self.clbits)
+        )
+        return clone
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instruction):

@@ -53,7 +53,11 @@ __all__ = ["PersistentResultCache", "CACHE_FORMAT_VERSION", "canonical_key_bytes
 # v2: the engine's result-cache key grew a trailing device-fingerprint
 # component (hardware-aware compilation), and compiled-circuit artifacts
 # ("compiled", ...) share the store — v1 trees are invisible, not misread.
-CACHE_FORMAT_VERSION = 2
+# v3: circuit fingerprints stopped hashing standard-gate matrices (the
+# (name, params) pair already determines them) and the engine key gained the
+# resolved-method backend tag (stabilizer vs dense entries must not collide),
+# so v2 entries are addressed differently — again invisible, not misread.
+CACHE_FORMAT_VERSION = 3
 
 # Every entry file starts with this line; a reader that does not find it
 # (old format, foreign file, truncation that ate the header) discards the

@@ -65,6 +65,7 @@ from .parallel import (
     run_compact_task,
 )
 from .result import ExecutionResult
+from .stabilizer import is_clifford_program
 
 __all__ = [
     "ExecutionEngine",
@@ -104,6 +105,10 @@ class EngineStats:
     # CompilationCache (device= submissions only).
     compile_hits: int = 0
     compile_misses: int = 0
+    # Executions routed through the stabilizer tableau backend (auto-selected
+    # Clifford fast path or an explicit method="stabilizer" that did not fall
+    # back to the dense tier).
+    stabilizer_executed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -132,6 +137,7 @@ class EngineStats:
         self.parallel_executed = 0
         self.compile_hits = 0
         self.compile_misses = 0
+        self.stabilizer_executed = 0
 
 
 @dataclasses.dataclass
@@ -330,6 +336,15 @@ class ExecutionEngine:
         call would produce.  ``seed`` decorrelates distinct circuits (each
         derives its own seed from the base seed and its fingerprint) while
         keeping identical circuits bit-identical.
+
+        ``method`` accepts ``"auto"``, ``"statevector"``,
+        ``"density_matrix"``, ``"trajectory"`` and ``"stabilizer"``.  Auto
+        selection routes wide noisy *Clifford* programs under Pauli noise
+        (RB, twirled circuits) through the stabilizer tableau backend;
+        explicitly requesting ``"stabilizer"`` uses it for any eligible
+        circuit and transparently falls back to the auto-selected dense
+        method when :func:`~repro.simulators.is_clifford_program` rejects
+        the program.
 
         Results are internally cached in compact (idle-wires-dropped) space
         and translated into each requester's wire embedding on delivery, so
@@ -542,9 +557,13 @@ class ExecutionEngine:
         for (kind, ref), output in zip(task_refs, outputs):
             if kind == "direct":
                 self.stats.executed += 1
+                if prepared[ref].method == "stabilizer":
+                    self.stats.stabilizer_executed += 1
                 results[ref] = self._deliver(output, prepared[ref])
             elif kind == "keyed":
                 self.stats.executed += 1
+                if prepared[pending[ref][0]].method == "stabilizer":
+                    self.stats.stabilizer_executed += 1
                 self._cache_put(ref, output)
                 for index in pending[ref]:
                     results[index] = self._deliver(output, prepared[index])
@@ -648,7 +667,7 @@ class ExecutionEngine:
         fusion: bool,
         device=None,
     ) -> _Prepared:
-        if method not in ("auto", "statevector", "density_matrix", "trajectory"):
+        if method not in ("auto", "statevector", "density_matrix", "trajectory", "stabilizer"):
             raise ValueError(f"unknown method {method!r}")
         if shots is not None and shots <= 0:
             raise ValueError("shots must be positive")
@@ -669,30 +688,47 @@ class ExecutionEngine:
             compact, active = circuit, list(range(circuit.num_qubits))
             noise = noise_model
         resolved = method
+        if resolved == "stabilizer" and not is_clifford_program(compact, noise):
+            # Transparent fallback contract: an explicit stabilizer request
+            # for a non-Clifford program re-resolves exactly as "auto" would,
+            # sharing cache lines with equivalent dense submissions.
+            resolved = "auto"
         if resolved == "auto":
             if noise.is_ideal:
                 resolved = "statevector"
             elif compact.num_qubits <= self.density_matrix_threshold:
                 resolved = "density_matrix"
+            elif is_clifford_program(compact, noise):
+                # Clifford program + Pauli noise, too wide for the exact
+                # tier: the tableau backend samples the same trajectory
+                # statistics at polynomial cost.  Narrow circuits keep the
+                # exact density-matrix tier (strictly better answers).
+                resolved = "stabilizer"
             else:
                 resolved = "trajectory"
 
         fingerprint = circuit_fingerprint(compact)
         derived_seed = _derive_seed(seed, fingerprint)
-        stochastic = resolved == "trajectory" or shots is not None
+        sampled = resolved in ("trajectory", "stabilizer")
+        stochastic = sampled or shots is not None
         cacheable = not stochastic or derived_seed is not None
         key = None
         if cacheable:
-            # The trajectory path always samples; key its implicit default
-            # shot budget explicitly so shots=None and shots=4096 (identical
-            # work and identical results) share one cache line.
+            # The trajectory and stabilizer paths always sample; key their
+            # implicit default shot budget explicitly so shots=None and
+            # shots=4096 (identical work and identical results) share one
+            # cache line.
             key_shots = shots
-            if resolved == "trajectory" and shots is None:
+            if sampled and shots is None:
                 key_shots = DEFAULT_TRAJECTORY_SHOTS
             # The trajectory RNG stream depends on the fused program (draws
             # are consumed in program order), so fusion settings are part of
             # the identity of a sampled result.  Exact methods are
-            # fusion-invariant and share cache lines across settings.
+            # fusion-invariant and share cache lines across settings; the
+            # stabilizer backend ignores fusion entirely (tableaus need the
+            # raw gate names), so its keys do too.  The ``resolved`` method
+            # string is the backend tag that keeps stabilizer and dense
+            # entries for one circuit from ever colliding.
             key_fusion = (
                 (fusion, self.fusion_max_qubits if fusion else None)
                 if resolved == "trajectory"
@@ -707,7 +743,7 @@ class ExecutionEngine:
                 resolved,
                 key_shots,
                 derived_seed,
-                max_trajectories if resolved == "trajectory" else None,
+                max_trajectories if sampled else None,
                 key_fusion,
                 device_fingerprint,
             )
@@ -771,6 +807,8 @@ class ExecutionEngine:
         different embeddings of the same compact structure.
         """
         self.stats.executed += 1
+        if request.method == "stabilizer":
+            self.stats.stabilizer_executed += 1
         if request.method == "density_matrix":
             # Readout-factored path: the expensive gate-noise evolution is
             # served by the state cache; only the confusion differs per

@@ -5,8 +5,11 @@
 * no noise → statevector;
 * noisy and narrow (``num_qubits <= density_matrix_threshold``) → exact
   density-matrix simulation (readout errors applied as exact confusion);
-* noisy and wide → Monte-Carlo trajectories with sampled readout flips,
-  via the batched ensemble backend
+* noisy, wide and **Clifford** under Pauli noise → the stabilizer tableau
+  backend (:func:`~repro.simulators.stabilizer.simulate_stabilizer_trajectories`),
+  which samples the same trajectory statistics at polynomial cost;
+* noisy and wide otherwise → Monte-Carlo trajectories with sampled readout
+  flips, via the batched ensemble backend
   (:func:`~repro.simulators.ensemble.simulate_trajectories_ensemble`).
 
 Callers that need reproducible statistics pass ``seed``; all stochastic paths
@@ -28,6 +31,7 @@ from ..noise import NoiseModel
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .parallel import CompactTask, run_compact_task
 from .result import ExecutionResult
+from .stabilizer import is_clifford_program
 
 __all__ = ["execute", "execute_many", "DEFAULT_DENSITY_MATRIX_THRESHOLD"]
 
@@ -60,8 +64,10 @@ def execute(
         samples (and ``counts`` is populated).  Exact methods return the
         exact distribution when ``shots`` is ``None``.
     method:
-        ``"auto"`` (default), ``"statevector"``, ``"density_matrix"`` or
-        ``"trajectory"``.
+        ``"auto"`` (default), ``"statevector"``, ``"density_matrix"``,
+        ``"trajectory"`` or ``"stabilizer"``.  An explicit ``"stabilizer"``
+        request falls back transparently to the auto-selected dense method
+        when the circuit (or its noise) is not Clifford/Pauli.
     fusion:
         Merge runs of adjacent gates (combined support ≤
         ``fusion_max_qubits``) into single matrices before simulating; see
@@ -71,14 +77,18 @@ def execute(
         reproducible per setting, not across settings.
     """
     noise_model = noise_model or NoiseModel.ideal()
-    if method not in ("auto", "statevector", "density_matrix", "trajectory"):
+    if method not in ("auto", "statevector", "density_matrix", "trajectory", "stabilizer"):
         raise ValueError(f"unknown method {method!r}")
 
+    if method == "stabilizer" and not is_clifford_program(circuit, noise_model):
+        method = "auto"  # transparent fallback to the dense tier
     if method == "auto":
         if noise_model.is_ideal:
             method = "statevector"
         elif circuit.num_qubits <= density_matrix_threshold:
             method = "density_matrix"
+        elif is_clifford_program(circuit, noise_model):
+            method = "stabilizer"
         else:
             method = "trajectory"
 

@@ -48,6 +48,7 @@ from .density_matrix import _apply_confusion_bit, noisy_distribution_density_mat
 from .ensemble import simulate_trajectories_ensemble
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .result import ExecutionResult
+from .stabilizer import simulate_stabilizer_trajectories
 from .statevector import ideal_distribution
 
 __all__ = [
@@ -83,7 +84,7 @@ class CompactTask:
 
     circuit: QuantumCircuit
     noise: NoiseModel
-    method: str  # resolved: "statevector" | "density_matrix" | "trajectory"
+    method: str  # resolved: "statevector" | "density_matrix" | "trajectory" | "stabilizer"
     shots: int | None
     seed: int | None
     max_trajectories: int
@@ -153,6 +154,25 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
             result.shots = task.shots
             result.distribution = counts.to_distribution()
         return result
+    if task.method == "stabilizer":
+        # Tableau simulation works on the raw (named-gate) circuit; fusion
+        # would erase gate names into dense matrices, so the fusion flags
+        # are deliberately ignored here (and excluded from stabilizer cache
+        # keys by the engine for the same reason).
+        counts, measured_qubits = simulate_stabilizer_trajectories(
+            task.circuit,
+            task.noise,
+            shots=task.shots or DEFAULT_TRAJECTORY_SHOTS,
+            seed=task.seed,
+            max_trajectories=task.max_trajectories,
+        )
+        return ExecutionResult(
+            distribution=counts.to_distribution(),
+            measured_qubits=measured_qubits,
+            counts=counts,
+            shots=counts.shots,
+            method="stabilizer",
+        )
     raise ValueError(f"unresolved method {task.method!r}")
 
 

@@ -12,7 +12,11 @@ trusted):
 * **density matrix vs trajectory backends** — with noise, the exact
   density-matrix distribution is the reference; the sampled ensemble and
   per-trajectory backends must land within a total-variation budget that
-  the sampling statistics justify, with and without fusion.
+  the sampling statistics justify, with and without fusion;
+* **density matrix vs stabilizer** — on *Clifford-restricted* random
+  circuits the tableau backend is a fourth independent implementation of
+  the same statistics, held to the same TV budget, and its engine tasks
+  must be bit-identical between parallel and serial execution.
 
 All randomness is drawn through the shared seeded-rng fixture
 (``tests/conftest.py``), so every case is deterministic and reproducible
@@ -27,8 +31,11 @@ import pytest
 from repro.circuits import QuantumCircuit
 from repro.noise import NoiseModel
 from repro.simulators import (
+    ExecutionEngine,
     ideal_distribution,
+    is_clifford_program,
     noisy_distribution_density_matrix,
+    simulate_stabilizer_trajectories,
     simulate_statevector,
     simulate_trajectories_batched,
     simulate_trajectories_ensemble,
@@ -38,6 +45,9 @@ from repro.simulators import (
 # (Cliffords, non-Cliffords, parameterised rotations).
 _ONE_QUBIT = ["h", "x", "s", "t", "sx", "rz", "ry"]
 _TWO_QUBIT = ["cx", "cz"]
+# Clifford-only menu for the stabilizer column (the tableau backend rejects
+# non-Clifford gates by design; the angle-free subset keeps every draw valid).
+_CLIFFORD_ONE_QUBIT = ["h", "x", "s", "sdg", "sx", "y", "z"]
 
 
 def random_circuit(rng: np.random.Generator, num_qubits: int, num_gates: int = 20) -> QuantumCircuit:
@@ -53,6 +63,20 @@ def random_circuit(rng: np.random.Generator, num_qubits: int, num_gates: int = 2
                 getattr(qc, name)(float(rng.uniform(0, 2 * np.pi)), qubit)
             else:
                 getattr(qc, name)(qubit)
+    qc.measure_all()
+    return qc
+
+
+def random_clifford_circuit(
+    rng: np.random.Generator, num_qubits: int, num_gates: int = 20
+) -> QuantumCircuit:
+    qc = QuantumCircuit(num_qubits, num_qubits)
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.35:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            getattr(qc, str(rng.choice(_TWO_QUBIT)))(int(a), int(b))
+        else:
+            getattr(qc, str(rng.choice(_CLIFFORD_ONE_QUBIT)))(int(rng.integers(num_qubits)))
     qc.measure_all()
     return qc
 
@@ -160,3 +184,48 @@ class TestTrajectoryBackendsVsDensityMatrix:
         )
         tv = total_variation(ensemble.to_distribution(), loop.to_distribution(), num_qubits)
         assert tv <= 0.12, f"ensemble vs trajectory-loop TV {tv:.4f}"
+
+
+class TestStabilizerVsDensityMatrix:
+    """The stabilizer tableau backend as a fourth column: on Clifford
+    workloads it must estimate the same physics as the exact density-matrix
+    reference, within the same TV budget as the other sampled backends (see
+    TestTrajectoryBackendsVsDensityMatrix for the 0.06 derivation — here
+    K <= 32, N = 20000 shots, 400 trajectories)."""
+
+    @pytest.mark.parametrize("num_qubits", [2, 3, 4, 5])
+    def test_stabilizer_within_tv_budget(self, num_qubits, make_rng):
+        rng = make_rng(6000 + num_qubits)
+        circuit = random_clifford_circuit(rng, num_qubits)
+        model = random_noise_model(rng, num_qubits)
+        assert is_clifford_program(circuit, model)
+        exact, _ = noisy_distribution_density_matrix(circuit, model)
+        counts, measured = simulate_stabilizer_trajectories(
+            circuit, model, shots=20000, seed=int(rng.integers(2**31)), max_trajectories=400
+        )
+        assert measured == sorted(circuit.measured_qubits)
+        tv = total_variation(counts.to_distribution(), exact, num_qubits)
+        assert tv <= 0.06, f"stabilizer TV {tv:.4f} vs density matrix"
+
+    def test_parallel_vs_serial_bit_identity(self, make_rng):
+        # Stabilizer engine tasks must be bit-identical whether they run in
+        # pool workers or in-process — same contract the trajectory tasks
+        # already honour (worker-purity: the derived seed travels with the
+        # task, so scheduling cannot change any result).
+        rng = make_rng(6100)
+        circuits = [random_clifford_circuit(rng, 11, num_gates=25) for _ in range(6)]
+        model = random_noise_model(rng, 11)
+        for circuit in circuits:
+            assert is_clifford_program(circuit, model)
+        with ExecutionEngine(workers=2, density_matrix_threshold=4) as parallel_engine:
+            parallel = parallel_engine.execute_many(
+                circuits, model, shots=2000, seed=13
+            )
+            assert parallel_engine.stats.stabilizer_executed > 0
+        with ExecutionEngine(workers=1, density_matrix_threshold=4) as serial_engine:
+            serial = serial_engine.execute_many(circuits, model, shots=2000, seed=13)
+        for fast, slow in zip(parallel, serial):
+            assert fast.method == "stabilizer"
+            assert slow.method == "stabilizer"
+            assert dict(fast.counts.items()) == dict(slow.counts.items())
+            assert fast.measured_qubits == slow.measured_qubits

@@ -303,6 +303,10 @@ class TestVectorizedTrajectories:
             qc.h(q)
         for q in range(11):
             qc.cx(q, q + 1)
+        # A t gate keeps the circuit non-Clifford: these tests pin the dense
+        # trajectory path, which auto-selection reserves for exactly this
+        # case now that Clifford programs route to the stabilizer backend.
+        qc.t(0)
         qc.measure_all()
         return qc
 

@@ -235,11 +235,19 @@ class TestExecute:
 
     def test_auto_trajectory_for_wide_noisy(self):
         qc = ghz_circuit(12)
+        qc.t(0)  # non-Clifford: wide Clifford programs go to the stabilizer backend
         qc.measure_all()
         result = execute(
             qc, NoiseModel.depolarizing(p2=0.01), shots=200, seed=0, max_trajectories=20
         )
         assert result.method == "trajectory"
+        assert result.shots == 200
+
+    def test_auto_stabilizer_for_wide_noisy_clifford(self):
+        qc = ghz_circuit(12)
+        qc.measure_all()
+        result = execute(qc, NoiseModel.depolarizing(p2=0.01), shots=200, seed=0)
+        assert result.method == "stabilizer"
         assert result.shots == 200
 
     def test_shots_sampling_on_exact_method(self):
