@@ -87,6 +87,13 @@ class CalibrationRunner:
         ``method="stabilizer"`` routes the whole RB / twirl sweep through
         the tableau fast path — identical plan, identical fitting, sampled
         counts instead of exact narrow-circuit distributions.
+    on_error:
+        Failure semantics forwarded to :meth:`ExecutionEngine.execute_many`
+        (default ``"raise"``).  Scheduled acquisitions should pass
+        ``"isolate"``: a failed circuit then costs its own data point, not
+        the session — the fitters skip failed slots, and the record's
+        metadata counts them (``failed_circuits``) so a degraded
+        calibration is visible in provenance.
     """
 
     def __init__(
@@ -109,9 +116,12 @@ class CalibrationRunner:
         workers: int | None = None,
         cache_dir: str | None = None,
         method: str = "auto",
+        on_error: str = "raise",
     ) -> None:
         if shots < 1:
             raise ValueError("shots must be positive")
+        if on_error not in ("raise", "isolate"):
+            raise ValueError("on_error must be 'raise' or 'isolate'")
         self.device = device
         self.noise_model = (
             as_noise_model(noise_model) if noise_model is not None else device.noise_model()
@@ -142,6 +152,7 @@ class CalibrationRunner:
         self.pauli_samples = int(pauli_samples)
         self.readout_chunk_size = int(readout_chunk_size)
         self.method = method
+        self.on_error = on_error
         self._owns_engine = engine is None
         self.engine = engine or ExecutionEngine(workers=workers, cache_dir=cache_dir)
         self._plan: list | None = None
@@ -218,15 +229,21 @@ class CalibrationRunner:
             shots=self.shots,
             seed=self.seed,
             method=self.method,
+            on_error=self.on_error,
         )
+        failed_circuits = sum(1 for result in results if not result.ok)
         # Provenance wants *this run's* accounting; on a shared engine the
-        # live counters are cumulative, so record the delta.
+        # live counters are cumulative, so record the delta — of the
+        # numeric counters only (EngineStats also carries non-numeric
+        # telemetry such as ``fallback_reason``, reported as-is).
         stats_after = self.engine.stats.to_dict()
         engine_stats = {
-            key: stats_after[key] - stats_before[key]
-            for key in stats_after
-            if key != "hit_rate"
+            key: value - stats_before[key]
+            for key, value in stats_after.items()
+            if key != "hit_rate" and isinstance(value, (int, float))
         }
+        if stats_after.get("fallback_reason"):
+            engine_stats["fallback_reason"] = stats_after["fallback_reason"]
         served = engine_stats["cache_hits"] + engine_stats["batch_dedup_hits"]
         engine_stats["hit_rate"] = (
             round(served / engine_stats["requests"], 6) if engine_stats["requests"] else 0.0
@@ -250,6 +267,7 @@ class CalibrationRunner:
             pairs=pair_fits,
             metadata={
                 "num_circuits": len(specs),
+                "failed_circuits": failed_circuits,
                 "duration_seconds": round(time.time() - started, 3),
                 "rb_lengths": list(self.rb_lengths),
                 "rb_samples": self.rb_samples,
@@ -271,7 +289,7 @@ class CalibrationRunner:
     def _fit_readout(self, specs, results, qubit_fits) -> None:
         by_qubit: dict[int, dict[int, tuple]] = {}
         for spec, result in zip(specs, results):
-            if not isinstance(spec, ReadoutSpec):
+            if not isinstance(spec, ReadoutSpec) or not result.ok:
                 continue
             for qubit in spec.qubits:
                 by_qubit.setdefault(qubit, {})[spec.prepared_bit] = (
@@ -293,7 +311,7 @@ class CalibrationRunner:
     def _fit_pair_readout(self, specs, results, pair_fits) -> None:
         by_pair: dict[tuple[int, int], dict[int, object]] = {}
         for spec, result in zip(specs, results):
-            if not isinstance(spec, PairReadoutSpec):
+            if not isinstance(spec, PairReadoutSpec) or not result.ok:
                 continue
             by_pair.setdefault(spec.pair, {})[spec.pattern] = result.counts
         for pair, counts_by_pattern in by_pair.items():
@@ -306,7 +324,7 @@ class CalibrationRunner:
         survivals: dict[tuple[int, bool], list[tuple[int, float]]] = {}
         gate_counts: dict[int, list[float]] = {}
         for spec, result in zip(specs, results):
-            if not isinstance(spec, RBSpec):
+            if not isinstance(spec, RBSpec) or not result.ok:
                 continue
             interleaved = spec.interleaved_gate is not None
             survival = bit_frequency(result.counts, 0, value=0)
@@ -350,7 +368,7 @@ class CalibrationRunner:
         # (pair, pauli, interleaved) -> [(depth, expectation), ...]
         decays: dict[tuple, list[tuple[int, float]]] = {}
         for spec, result in zip(specs, results):
-            if not isinstance(spec, PauliLearningSpec):
+            if not isinstance(spec, PauliLearningSpec) or not result.ok:
                 continue
             expectation = spec.sign * result.distribution.expectation_z(spec.parity_bits)
             decays.setdefault((spec.pair, spec.pauli, spec.interleaved), []).append(

@@ -157,6 +157,7 @@ def virtual_pauli_check(
     workers: int | None = None,
     cache_dir: str | None = None,
     device=None,
+    retry_policy=None,
 ) -> VirtualCheckResult:
     """Run one virtual Pauli check over ``segment``.
 
@@ -262,7 +263,9 @@ def virtual_pauli_check(
         if workers is not None or cache_dir is not None:
             # Dedicated engine for this call; release its worker pool
             # deterministically once the batch is done.
-            engine = owned_engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+            engine = owned_engine = ExecutionEngine(
+                workers=workers, cache_dir=cache_dir, retry_policy=retry_policy
+            )
         else:
             engine = get_default_engine()
     variants = [

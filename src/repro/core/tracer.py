@@ -171,6 +171,11 @@ class QuTracer:
         Persistent on-disk result cache directory for the default engine;
         repeated tracer sweeps warm-start across sessions.  Ignored when an
         explicit ``engine`` is passed.
+    retry_policy:
+        :class:`~repro.simulators.faults.RetryPolicy` for the default
+        engine — governs re-attempts after transient faults and worker
+        crashes during the subset sweeps.  Ignored when an explicit
+        ``engine`` is passed (configure that engine instead).
     """
 
     def __init__(
@@ -186,6 +191,7 @@ class QuTracer:
         workers: int | None = None,
         cache_dir: str | None = None,
         compile: bool = False,
+        retry_policy=None,
     ) -> None:
         if noise_model is None and device is None:
             raise ValueError("provide a noise_model, a device, or both")
@@ -203,7 +209,10 @@ class QuTracer:
         self.max_trajectories = max_trajectories
         self._owns_engine = engine is None
         self.engine = engine or ExecutionEngine(
-            max_trajectories=max_trajectories, workers=workers, cache_dir=cache_dir
+            max_trajectories=max_trajectories,
+            workers=workers,
+            cache_dir=cache_dir,
+            retry_policy=retry_policy,
         )
         # assignment -> derived NoiseModel; building a device noise model is
         # expensive (channel composition + Kraus reduction) and the same

@@ -79,6 +79,7 @@ def run_jigsaw(
     workers: int | None = None,
     cache_dir: str | None = None,
     device=None,
+    retry_policy=None,
 ) -> JigsawResult:
     """Run the Jigsaw protocol.
 
@@ -115,7 +116,9 @@ def run_jigsaw(
         if workers is not None or cache_dir is not None:
             # Dedicated engine for this call; its worker pool is released
             # deterministically below instead of waiting for GC.
-            engine = owned_engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+            engine = owned_engine = ExecutionEngine(
+                workers=workers, cache_dir=cache_dir, retry_policy=retry_policy
+            )
         else:
             engine = get_default_engine()
     measured = circuit.measured_qubits

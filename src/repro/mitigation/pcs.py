@@ -169,6 +169,7 @@ def run_pcs(
     workers: int | None = None,
     cache_dir: str | None = None,
     device=None,
+    retry_policy=None,
 ) -> PCSResult:
     """Execute the PCS-instrumented circuit and post-select on the ancillas.
 
@@ -215,7 +216,9 @@ def run_pcs(
     owned_engine = None
     if engine is None:
         if workers is not None or cache_dir is not None:
-            engine = owned_engine = ExecutionEngine(workers=workers, cache_dir=cache_dir)
+            engine = owned_engine = ExecutionEngine(
+                workers=workers, cache_dir=cache_dir, retry_policy=retry_policy
+            )
         else:
             engine = get_default_engine()
     instrumented, ancilla_qubits = build_pcs_circuit(circuit, checks)

@@ -17,6 +17,19 @@ from .engine import (
 )
 from .ensemble import simulate_trajectories_ensemble
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD, execute, execute_many
+from .faults import (
+    BackendUnavailableError,
+    CacheCorruptionError,
+    EngineInvariantError,
+    ExecutionFault,
+    FaultInjector,
+    RetryPolicy,
+    SimulationError,
+    TaskTimeoutError,
+    TranspilationError,
+    TransientSimulationError,
+    WorkerCrashError,
+)
 from .parallel import CompactTask, ParallelSharder, run_compact_task
 from .fusion import (
     DEFAULT_FUSION_MAX_QUBITS,
@@ -24,7 +37,7 @@ from .fusion import (
     FusedProgram,
     fuse_circuit,
 )
-from .result import ExecutionResult
+from .result import ExecutionResult, FailedResult
 from .stabilizer import (
     StabilizerTableau,
     is_clifford_program,
@@ -37,8 +50,20 @@ __all__ = [
     "Statevector",
     "DensityMatrix",
     "ExecutionResult",
+    "FailedResult",
     "ExecutionEngine",
     "EngineStats",
+    "ExecutionFault",
+    "SimulationError",
+    "TransientSimulationError",
+    "BackendUnavailableError",
+    "TranspilationError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
+    "CacheCorruptionError",
+    "EngineInvariantError",
+    "RetryPolicy",
+    "FaultInjector",
     "PersistentResultCache",
     "CACHE_FORMAT_VERSION",
     "CompactTask",

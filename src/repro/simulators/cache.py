@@ -26,10 +26,20 @@ them):
   observes a half-written entry even with concurrent writers (the POSIX
   rename is atomic; last writer wins, and both writers wrote the same
   content anyway — the key addresses it).
-* **Corruption tolerance.**  A read that fails for *any* reason (truncated
-  file, wrong magic, unpicklable payload, stale class layout) is treated as
-  a miss and the offending file is deleted.  A corrupt cache can cost a
+* **Corruption tolerance.**  Every entry carries a SHA-256 checksum of its
+  pickled payload, verified before unpickling — a flipped byte that would
+  still unpickle cleanly (bit rot inside a float) is caught, not served.  A
+  read that fails for *any* reason (truncated file, wrong magic, checksum
+  mismatch, unpicklable payload, stale class layout) is treated as a miss
+  and the offending file is **quarantined** — moved to
+  ``<cache_dir>/quarantine/`` and counted in :attr:`corrupt_entries` — so a
+  fault post-mortem can inspect the bad bytes.  A corrupt cache can cost a
   recomputation, never an exception or a wrong result.
+* **I/O degradation ladder.**  After several *consecutive* write failures
+  (disk full, tree gone read-only) the cache disables itself for the rest
+  of the session — persistent → memory-only, the cache rung of the
+  engine's degradation ladder — instead of paying an OSError per put
+  forever.  The decision is logged and visible via :meth:`stats`.
 * **LRU size cap.**  Each hit refreshes the entry's mtime; when the tree
   exceeds ``max_bytes`` after a write, the oldest-mtime entries are evicted
   until the tree is back under the cap.
@@ -43,12 +53,15 @@ the repository checkout itself.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from typing import Any, Iterator
 
 __all__ = ["PersistentResultCache", "CACHE_FORMAT_VERSION", "canonical_key_bytes"]
+
+logger = logging.getLogger(__name__)
 
 # v2: the engine's result-cache key grew a trailing device-fingerprint
 # component (hardware-aware compilation), and compiled-circuit artifacts
@@ -57,16 +70,31 @@ __all__ = ["PersistentResultCache", "CACHE_FORMAT_VERSION", "canonical_key_bytes
 # (name, params) pair already determines them) and the engine key gained the
 # resolved-method backend tag (stabilizer vs dense entries must not collide),
 # so v2 entries are addressed differently — again invisible, not misread.
-CACHE_FORMAT_VERSION = 3
+# v4: the entry header grew a payload checksum.  Truncation and foreign
+# bytes already failed the magic/unpickle checks, but a flipped byte INSIDE
+# a pickled float unpickles cleanly into silently wrong numbers — the
+# checksum turns that into a quarantine + recompute like every other
+# corruption.
+CACHE_FORMAT_VERSION = 4
 
 # Every entry file starts with this line; a reader that does not find it
 # (old format, foreign file, truncation that ate the header) discards the
 # file instead of attempting to unpickle garbage.
 _MAGIC = b"repro-result-cache:v%d\n" % CACHE_FORMAT_VERSION
 
+# SHA-256 of the pickled payload, stored between the magic line and the
+# payload and verified before unpickling.
+_CHECKSUM_BYTES = 32
+
 # Default size cap: generous for result distributions (a few KB each) while
 # still bounded — ~100k typical entries.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+# Consecutive put() failures tolerated before the cache degrades itself to
+# memory-only for the rest of the session.  A transient hiccup (one full
+# fsync, a racing cleanup) recovers on the next successful write; a dead
+# filesystem stops costing an exception per put.
+MAX_CONSECUTIVE_WRITE_FAILURES = 5
 
 
 
@@ -99,11 +127,23 @@ class PersistentResultCache:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
         self.root = os.path.join(os.fspath(cache_dir), f"v{CACHE_FORMAT_VERSION}")
+        self.quarantine_dir = os.path.join(os.fspath(cache_dir), "quarantine")
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.write_errors = 0
+        # Entries that failed integrity checks on read and were moved to
+        # ``quarantine/`` for post-mortem inspection.
+        self.corrupt_entries = 0
+        # True once repeated write failures degraded the cache to
+        # memory-only (get/put become no-ops for the rest of the session).
+        self.disabled = False
+        self._consecutive_write_failures = 0
+        # Chaos hooks: set via ExecutionEngine.install_fault_injector.
+        # When present, read/write ordinals may corrupt the entry about to
+        # be read or fail the write about to happen — deterministically.
+        self.fault_injector = None
         # Running size estimate: measured from disk lazily, bumped per put,
         # re-measured after each eviction.  Scanning the tree on every put
         # would make writes O(entries); the estimate keeps the cap enforced
@@ -125,21 +165,33 @@ class PersistentResultCache:
 
         A hit refreshes the entry's mtime (the LRU clock).  Any failure —
         missing file, bad magic, truncated or unpicklable payload — counts
-        as a miss and removes the file.
+        as a miss and quarantines the file for post-mortem inspection.
         """
+        if self.disabled:
+            return None
         path = self._path(key)
+        if self.fault_injector is not None and self.fault_injector.on_cache_read():
+            self.fault_injector.corrupt_file(path)
         try:
             with open(path, "rb") as handle:
                 if handle.read(len(_MAGIC)) != _MAGIC:
                     raise ValueError("bad cache entry header")
-                value = pickle.load(handle)
+                digest = handle.read(_CHECKSUM_BYTES)
+                body = handle.read()
+                # Verify before unpickling: a flipped byte inside a pickled
+                # float can unpickle cleanly into wrong numbers, and serving
+                # those would break the bit-identity contract.
+                if hashlib.sha256(body).digest() != digest:
+                    raise ValueError("cache entry checksum mismatch")
+                value = pickle.loads(body)
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            # Corrupt / foreign / stale-format entry: drop it so the slot
-            # heals itself on the next put.
-            self._remove(path)
+            # Corrupt / foreign / stale-format entry: move it aside so the
+            # slot heals itself on the next put and the bad bytes survive
+            # for a post-mortem.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -155,13 +207,20 @@ class PersistentResultCache:
         Write failures (disk full, tree gone read-only) are swallowed and
         counted in :attr:`write_errors`: the caller's simulation already
         succeeded, and an unusable cache must only cost recomputation —
-        the same contract corrupt reads honour.
+        the same contract corrupt reads honour.  After
+        ``MAX_CONSECUTIVE_WRITE_FAILURES`` failures in a row the cache
+        degrades itself to memory-only for the rest of the session.
         """
-        payload = _MAGIC + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.disabled:
+            return
+        body = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = _MAGIC + hashlib.sha256(body).digest() + body
         path = self._path(key)
         directory = os.path.dirname(path)
         temp_path = None
         try:
+            if self.fault_injector is not None and self.fault_injector.on_cache_write():
+                raise OSError("injected cache write failure")
             os.makedirs(directory, exist_ok=True)
             fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
@@ -171,11 +230,20 @@ class PersistentResultCache:
             if temp_path is not None:
                 self._remove(temp_path)
             self.write_errors += 1
+            self._consecutive_write_failures += 1
+            if self._consecutive_write_failures >= MAX_CONSECUTIVE_WRITE_FAILURES:
+                self.disabled = True
+                logger.warning(
+                    "PersistentResultCache disabling itself after %d consecutive "
+                    "write failures; continuing memory-only",
+                    self._consecutive_write_failures,
+                )
             return
         except BaseException:
             if temp_path is not None:
                 self._remove(temp_path)
             raise
+        self._consecutive_write_failures = 0
         if self.max_bytes is not None:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
@@ -187,6 +255,32 @@ class PersistentResultCache:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot for telemetry and fault post-mortems."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "write_errors": self.write_errors,
+            "corrupt_entries": self.corrupt_entries,
+            "disabled": self.disabled,
+        }
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry to ``quarantine/`` instead of deleting it."""
+        self.corrupt_entries += 1
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            os.replace(path, os.path.join(self.quarantine_dir, os.path.basename(path)))
+            logger.warning(
+                "PersistentResultCache quarantined corrupt entry %s",
+                os.path.basename(path),
+            )
+        except OSError:
+            # Quarantine tree unwritable or the entry raced away: removal
+            # still restores the self-healing contract.
+            self._remove(path)
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())

@@ -56,6 +56,16 @@ from ..transpiler.compilation import CompilationCache, CompiledCircuit
 from .cache import DEFAULT_MAX_BYTES, PersistentResultCache
 from .density_matrix import noisy_distribution_density_matrix
 from .execute import DEFAULT_DENSITY_MATRIX_THRESHOLD
+from .faults import (
+    BackendUnavailableError,
+    EngineInvariantError,
+    ExecutionFault,
+    FaultInjector,
+    RetryPolicy,
+    SimulationError,
+    TranspilationError,
+    apply_injected_directive,
+)
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .parallel import (
     DEFAULT_TRAJECTORY_SHOTS,
@@ -64,8 +74,9 @@ from .parallel import (
     apply_readout_confusion,
     run_compact_task,
 )
-from .result import ExecutionResult
+from .result import ExecutionResult, FailedResult
 from .stabilizer import is_clifford_program
+from .trajectory import simulate_trajectories_batched
 
 __all__ = [
     "ExecutionEngine",
@@ -73,6 +84,14 @@ __all__ = [
     "circuit_fingerprint",
     "get_default_engine",
 ]
+
+# Graceful degradation ladder walked when a backend raises
+# BackendUnavailableError: the stabilizer tableau falls back to the dense
+# trajectory ensemble, and the ensemble falls back to the per-trajectory
+# reference loop.  Each rung is strictly more general (and slower) than the
+# one above it; results from a degraded rung are never cached (the healthy
+# backend's cache line must keep meaning "what the resolved method returns").
+_DEGRADATION_LADDER = {"stabilizer": "trajectory", "trajectory": "trajectory_loop"}
 
 # DEFAULT_TRAJECTORY_SHOTS is defined next to the compute function in
 # .parallel and imported above: the cache key (here) and the simulated shot
@@ -109,6 +128,23 @@ class EngineStats:
     # Clifford fast path or an explicit method="stabilizer" that did not fall
     # back to the dense tier).
     stabilizer_executed: int = 0
+    # --- fault-tolerance accounting -----------------------------------
+    # Re-attempts after retryable faults (transient simulation errors,
+    # worker crashes recovered in-process).
+    retries: int = 0
+    # Request slots that terminated as FailedResult under on_error="isolate"
+    # (duplicates of one poison circuit each count: the *executions* behind
+    # them are deduplicated, the slots are not).
+    isolated_failures: int = 0
+    # Times the engine walked one rung of the backend degradation ladder
+    # (stabilizer -> trajectory ensemble -> per-trajectory loop).
+    degraded_backend: int = 0
+    # Process-pool respawns after worker crashes / stuck-worker timeouts.
+    pool_respawns: int = 0
+    # Why the sharder last ran without its pool (None while parallel is
+    # healthy); mirrors ParallelSharder.fallback_reason so silent in-process
+    # degradation is visible on the engine's own telemetry.
+    fallback_reason: str | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -138,6 +174,11 @@ class EngineStats:
         self.compile_hits = 0
         self.compile_misses = 0
         self.stabilizer_executed = 0
+        self.retries = 0
+        self.isolated_failures = 0
+        self.degraded_backend = 0
+        self.pool_respawns = 0
+        self.fallback_reason = None
 
 
 @dataclasses.dataclass
@@ -211,6 +252,25 @@ class ExecutionEngine:
         In-memory LRU capacity of the hardware-aware
         :class:`~repro.transpiler.CompilationCache` used by ``device=``
         submissions (persistent when ``cache_dir`` is set).
+    retry_policy:
+        :class:`~repro.simulators.faults.RetryPolicy` governing re-attempts
+        after retryable faults (transient simulation errors, worker
+        crashes) and the backoff between pool respawns.  ``None`` uses the
+        default policy (3 attempts, exponential backoff, deterministic
+        jitter); pass ``RetryPolicy.none()`` to disable retry.
+    task_timeout:
+        Wall-clock seconds each *dispatched* task may take under
+        ``workers > 1`` (measured from dispatch; a blown budget cancels the
+        future, fails the slot with
+        :class:`~repro.simulators.faults.TaskTimeoutError` and recycles the
+        pool).  ``None`` disables timeouts.  The in-process path cannot
+        preempt a running simulation, so timeouts only guard pool dispatch.
+    on_error:
+        Default failure semantics for :meth:`execute_many` (overridable per
+        call): ``"raise"`` preserves the historical contract — the first
+        terminal fault aborts the batch; ``"isolate"`` converts each failed
+        slot into a :class:`~repro.simulators.result.FailedResult` and
+        completes every healthy slot bit-identically to a fault-free run.
     """
 
     def __init__(
@@ -226,11 +286,16 @@ class ExecutionEngine:
         cache_dir: str | None = None,
         persistent_cache_bytes: int | None = DEFAULT_MAX_BYTES,
         compilation_cache_size: int = 1024,
+        retry_policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        on_error: str = "raise",
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for in-process)")
+        if on_error not in ("raise", "isolate"):
+            raise ValueError("on_error must be 'raise' or 'isolate'")
         self.density_matrix_threshold = int(density_matrix_threshold)
         self.max_trajectories = int(max_trajectories)
         self.cache_size = int(cache_size)
@@ -239,6 +304,10 @@ class ExecutionEngine:
         self.fusion_max_qubits = int(fusion_max_qubits)
         self.workers = int(workers) if workers is not None else None
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.task_timeout = task_timeout
+        self.on_error = on_error
+        self._fault_injector: FaultInjector | None = None
         self._sharder: ParallelSharder | None = None
         self._persistent = (
             PersistentResultCache(cache_dir, max_bytes=persistent_cache_bytes)
@@ -290,6 +359,7 @@ class ExecutionEngine:
         max_trajectories: int | None = None,
         fusion: bool | None = None,
         device=None,
+        on_error: str | None = None,
     ) -> ExecutionResult:
         """Run one circuit through the cache (see :meth:`execute_many`).
 
@@ -306,7 +376,21 @@ class ExecutionEngine:
             max_trajectories=max_trajectories,
             fusion=fusion,
             device=device,
+            on_error=on_error,
         )[0]
+
+    def install_fault_injector(self, injector: FaultInjector | None) -> None:
+        """Install (or, with ``None``, remove) a chaos fault injector.
+
+        The injector's task directives are resolved in the parent at
+        dispatch time (workers stay stateless) and its cache hooks are
+        threaded onto the persistent cache, so an injected fault schedule
+        replays deterministically.  Testing harness — never install one in
+        production use.
+        """
+        self._fault_injector = injector
+        if self._persistent is not None:
+            self._persistent.fault_injector = injector
 
     def execute_many(
         self,
@@ -319,7 +403,8 @@ class ExecutionEngine:
         fusion: bool | None = None,
         workers: int | None = None,
         device=None,
-    ) -> list[ExecutionResult]:
+        on_error: str | None = None,
+    ) -> list[ExecutionResult | FailedResult]:
         """Run a batch of circuits, deduplicating and caching shared work.
 
         All circuits share the noise model and shot budget (the common case:
@@ -387,35 +472,86 @@ class ExecutionEngine:
         qubits.  A circuit submitted without measurements is measure-all'd
         before compilation (its distribution covers every logical qubit,
         with readout noise — devices read out what they measure).
+
+        ``on_error`` overrides the engine's failure semantics for this call
+        (``None`` keeps them): under ``"isolate"`` a circuit that fails
+        after retry and degradation are exhausted yields a
+        :class:`~repro.simulators.result.FailedResult` in its slot while
+        every healthy slot completes bit-identically to a fault-free run;
+        duplicates of one poison circuit are failed from a single execution
+        (dedup applies to failures exactly as it does to results).
+        Argument-validation errors (unknown method, non-positive shots,
+        bad ``on_error``) always raise — they doom the whole batch, not a
+        slot.
         """
+        on_error = self.on_error if on_error is None else on_error
+        if on_error not in ("raise", "isolate"):
+            raise ValueError("on_error must be 'raise' or 'isolate'")
+        isolate = on_error == "isolate"
+        # Batch-wide argument validation stays raise-always even in isolate
+        # mode: these reject the call, not any one circuit.
+        if method not in ("auto", "statevector", "density_matrix", "trajectory", "stabilizer"):
+            raise ValueError(f"unknown method {method!r}")
+        if shots is not None and shots <= 0:
+            raise ValueError("shots must be positive")
         if device is not None and noise_model is None:
             noise_model = device
         noise_model = as_noise_model(noise_model) if noise_model is not None else NoiseModel.ideal()
         max_trajectories = max_trajectories or self.max_trajectories
         fusion = self.fusion if fusion is None else bool(fusion)
         workers = (self.workers or 1) if workers is None else int(workers)
-        prepared = [
-            self._prepare(
-                circuit, noise_model, shots, seed, method, max_trajectories, fusion, device
-            )
-            for circuit in circuits
-        ]
+        prepared: list[_Prepared | FailedResult] = []
+        for circuit in circuits:
+            try:
+                prepared.append(
+                    self._prepare(
+                        circuit, noise_model, shots, seed, method, max_trajectories, fusion, device
+                    )
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if not isolate:
+                    raise  # historical contract: the original exception type
+                prepared.append(self._failed_prepare(circuit, exc))
         if workers > 1 and len(prepared) > 1:
-            return self._execute_many_parallel(prepared, shots, max_trajectories, workers)
+            return self._execute_many_parallel(prepared, shots, max_trajectories, workers, isolate)
 
-        results: list[ExecutionResult | None] = [None] * len(prepared)
+        results: list[ExecutionResult | FailedResult | None] = [None] * len(prepared)
         batch_first: dict[tuple, ExecutionResult] = {}
+        # key -> FailedResult of its single failed execution; duplicate
+        # requesters are failed from here without re-running the poison.
+        batch_failed: dict[tuple, FailedResult] = {}
         for index, request in enumerate(prepared):
             self.stats.requests += 1
+            if isinstance(request, FailedResult):
+                self.stats.isolated_failures += 1
+                results[index] = request
+                continue
             if request.key is None:
                 self.stats.uncacheable += 1
-                results[index] = self._deliver(
-                    self._run(request, shots, max_trajectories), request
-                )
+                try:
+                    result = self._execute_with_policy(request, shots, max_trajectories)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    if not isolate:
+                        raise
+                    self.stats.isolated_failures += 1
+                    results[index] = self._failed_result(request, exc)
+                    continue
+                results[index] = self._deliver(result, request)
                 continue
             if request.key in batch_first:
                 self.stats.batch_dedup_hits += 1
                 results[index] = self._deliver(batch_first[request.key], request)
+                continue
+            if request.key in batch_failed:
+                self.stats.batch_dedup_hits += 1
+                self.stats.isolated_failures += 1
+                results[index] = dataclasses.replace(
+                    batch_failed[request.key], metadata=dict(batch_failed[request.key].metadata)
+                )
                 continue
             cached = self._cache_get(request.key)
             if cached is not None:
@@ -423,8 +559,23 @@ class ExecutionEngine:
                 results[index] = self._deliver(cached, request)
                 continue
             self.stats.cache_misses += 1
-            result = self._run(request, shots, max_trajectories)
-            self._cache_put(request.key, result)
+            try:
+                result = self._execute_with_policy(request, shots, max_trajectories)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if not isolate:
+                    raise
+                failed = self._failed_result(request, exc)
+                batch_failed[request.key] = failed
+                self.stats.isolated_failures += 1
+                results[index] = failed
+                continue
+            # A degraded-backend result is never cached: the key's cache
+            # line must keep meaning "what the resolved method returns".
+            # It may still serve duplicate slots within this batch.
+            if "degraded_from" not in result.metadata:
+                self._cache_put(request.key, result)
             batch_first[request.key] = result
             # The requester gets its own delivery too — handing out the
             # cache-backing object would let caller mutations poison
@@ -432,17 +583,98 @@ class ExecutionEngine:
             results[index] = self._deliver(result, request)
         # One result per input, in input order — callers zip against their
         # inputs, so a silently shrunk list would misattribute results.
-        if any(r is None for r in results):
-            raise RuntimeError("internal error: a request was dispatched without a result")
+        self._check_delivered(results, prepared)
         return results  # type: ignore[return-value]
+
+    def _check_delivered(
+        self,
+        results: list,
+        prepared: list,
+    ) -> None:
+        """Every request slot must hold a result — name the lost ones if not."""
+        undelivered = [
+            request.key or request.fingerprint if isinstance(request, _Prepared) else None
+            for request, result in zip(prepared, results)
+            if result is None
+        ]
+        if undelivered:
+            raise EngineInvariantError(
+                "a request was dispatched without a result",
+                undelivered=undelivered,
+                stage="deliver",
+            )
+
+    def _failed_prepare(self, circuit: QuantumCircuit, exc: Exception) -> FailedResult:
+        """FailedResult for a circuit that could not be prepared (isolate mode)."""
+        try:
+            fingerprint: str | None = circuit_fingerprint(circuit)
+        except Exception:
+            fingerprint = None
+        if isinstance(exc, ExecutionFault):
+            fault = exc
+        else:
+            fault = TranspilationError(str(exc), fingerprint=fingerprint, stage="prepare")
+            fault.__cause__ = exc
+        return FailedResult(
+            error=fault,
+            fingerprint=fault.fingerprint or fingerprint,
+            method=fault.method,
+            stage=fault.stage or "prepare",
+        )
+
+    def _failed_result(self, request: _Prepared, exc: Exception) -> FailedResult:
+        """FailedResult for a prepared request whose execution terminally failed."""
+        if isinstance(exc, ExecutionFault):
+            fault = exc
+        else:
+            fault = SimulationError(
+                str(exc),
+                fingerprint=request.fingerprint,
+                method=request.method,
+                stage="simulate",
+            )
+            fault.__cause__ = exc
+        return FailedResult(
+            error=fault,
+            fingerprint=fault.fingerprint or request.fingerprint,
+            method=fault.method or request.method,
+            stage=fault.stage or "simulate",
+            attempts=getattr(fault, "attempts", 1),
+        )
+
+    def _guarded(
+        self,
+        request: _Prepared,
+        shots: int | None,
+        max_trajectories: int,
+        isolate: bool,
+        first_fault: ExecutionFault | None = None,
+    ) -> tuple[ExecutionResult | None, FailedResult | None]:
+        """Run under policy; ``(result, None)`` or — isolating — ``(None, failed)``.
+
+        In raise mode the terminal exception propagates (aborting the batch,
+        the historical contract).
+        """
+        try:
+            result = self._execute_with_policy(
+                request, shots, max_trajectories, first_fault=first_fault
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if not isolate:
+                raise
+            return None, self._failed_result(request, exc)
+        return result, None
 
     def _execute_many_parallel(
         self,
-        prepared: list[_Prepared],
+        prepared: list[_Prepared | FailedResult],
         shots: int | None,
         max_trajectories: int,
         workers: int,
-    ) -> list[ExecutionResult]:
+        isolate: bool,
+    ) -> list[ExecutionResult | FailedResult]:
         """Shard a prepared batch across the process pool.
 
         The parent does everything stateful — deduplication, in-memory and
@@ -451,6 +683,13 @@ class ExecutionEngine:
         dispatched; duplicates of a dispatched key wait for its single
         execution, exactly as in the serial path.
 
+        Fault recovery is parent-side too: the sharder returns a structured
+        :class:`~repro.simulators.faults.ExecutionFault` per failed slot
+        (it already absorbed pool crashes and timeouts), and the parent
+        feeds it to :meth:`_execute_with_policy` — retrying retryable
+        faults in-process, walking the degradation ladder, and only then
+        failing the slot (isolate mode) or the batch (raise mode).
+
         Density-matrix requests keep the readout-factored state cache: a
         state-cache hit is finished in the parent (confusion + optional
         sampling are cheap); a miss dispatches the expensive *gate-noise*
@@ -458,7 +697,7 @@ class ExecutionEngine:
         writes the ``dm-state`` entry — so measurement-error sweeps
         warm-start under ``workers>1`` exactly as they do serially.
         """
-        results: list[ExecutionResult | None] = [None] * len(prepared)
+        results: list[ExecutionResult | FailedResult | None] = [None] * len(prepared)
         # key -> requester indices awaiting the key's single execution
         pending: OrderedDict[tuple, list[int]] = OrderedDict()
         tasks: list[CompactTask] = []
@@ -493,6 +732,11 @@ class ExecutionEngine:
 
         for index, request in enumerate(prepared):
             self.stats.requests += 1
+            if isinstance(request, FailedResult):
+                # Prepare already failed this slot (isolate mode only).
+                self.stats.isolated_failures += 1
+                results[index] = request
+                continue
             if request.key is None:
                 # Unseeded sampling: uncacheable and never deduplicated —
                 # each occurrence is an independent draw (in a worker, from
@@ -500,9 +744,12 @@ class ExecutionEngine:
                 self.stats.uncacheable += 1
                 if request.method == "density_matrix":
                     if enqueue_density_matrix(request, ("direct", index)):
-                        results[index] = self._deliver(
-                            self._run(request, shots, max_trajectories), request
-                        )
+                        result, failed = self._guarded(request, shots, max_trajectories, isolate)
+                        if failed is not None:
+                            self.stats.isolated_failures += 1
+                            results[index] = failed
+                        else:
+                            results[index] = self._deliver(result, request)
                 else:
                     tasks.append(self._task_for(request, shots, max_trajectories))
                     task_refs.append(("direct", index))
@@ -520,9 +767,14 @@ class ExecutionEngine:
             if request.method == "density_matrix":
                 if enqueue_density_matrix(request, ("keyed", request.key)):
                     # Later duplicates of this key hit the result cache.
-                    result = self._run(request, shots, max_trajectories)
-                    self._cache_put(request.key, result)
-                    results[index] = self._deliver(result, request)
+                    result, failed = self._guarded(request, shots, max_trajectories, isolate)
+                    if failed is not None:
+                        self.stats.isolated_failures += 1
+                        results[index] = failed
+                    else:
+                        if "degraded_from" not in result.metadata:
+                            self._cache_put(request.key, result)
+                        results[index] = self._deliver(result, request)
                 else:
                     pending[request.key] = [index]
             else:
@@ -531,8 +783,18 @@ class ExecutionEngine:
                 task_refs.append(("keyed", request.key))
 
         sharder = self._get_sharder(workers)
-        outputs = sharder.run(tasks)
+        directives = None
+        if self._fault_injector is not None:
+            # Resolve injector directives parent-side, one ordinal per
+            # dispatched task in dispatch order — workers stay stateless
+            # and a chaos schedule replays deterministically.
+            directives = [
+                self._fault_injector.take_directive(task.fingerprint) for task in tasks
+            ]
+        outputs = sharder.run(tasks, directives=directives, isolate=True)
         self.stats.parallel_executed += sharder.last_dispatched
+        self.stats.pool_respawns += sharder.last_respawns
+        self.stats.fallback_reason = sharder.fallback_reason
 
         def finish_density_matrix(request: _Prepared, pre_readout: ExecutionResult) -> ExecutionResult:
             # Same arithmetic as the serial readout-factored path: exact
@@ -554,20 +816,83 @@ class ExecutionEngine:
                 result.distribution = counts.to_distribution()
             return result
 
+        def fail_pending(key: tuple, failed: FailedResult) -> None:
+            # One poison execution fails every duplicate slot awaiting it —
+            # the same dedup that shares results shares failures.
+            for index in pending[key]:
+                self.stats.isolated_failures += 1
+                results[index] = dataclasses.replace(failed, metadata=dict(failed.metadata))
+
         for (kind, ref), output in zip(task_refs, outputs):
             if kind == "direct":
+                request = prepared[ref]
+                if isinstance(output, ExecutionFault):
+                    result, failed = self._guarded(
+                        request, shots, max_trajectories, isolate, first_fault=output
+                    )
+                    if failed is not None:
+                        self.stats.isolated_failures += 1
+                        results[ref] = failed
+                    else:
+                        results[ref] = self._deliver(result, request)
+                    continue
                 self.stats.executed += 1
-                if prepared[ref].method == "stabilizer":
+                if request.method == "stabilizer":
                     self.stats.stabilizer_executed += 1
-                results[ref] = self._deliver(output, prepared[ref])
+                results[ref] = self._deliver(output, request)
             elif kind == "keyed":
+                request = prepared[pending[ref][0]]
+                if isinstance(output, ExecutionFault):
+                    result, failed = self._guarded(
+                        request, shots, max_trajectories, isolate, first_fault=output
+                    )
+                    if failed is not None:
+                        fail_pending(ref, failed)
+                    else:
+                        if "degraded_from" not in result.metadata:
+                            self._cache_put(ref, result)
+                        for index in pending[ref]:
+                            results[index] = self._deliver(result, prepared[index])
+                    continue
                 self.stats.executed += 1
-                if prepared[pending[ref][0]].method == "stabilizer":
+                if request.method == "stabilizer":
                     self.stats.stabilizer_executed += 1
                 self._cache_put(ref, output)
                 for index in pending[ref]:
                     results[index] = self._deliver(output, prepared[index])
             else:  # dm-state: populate the state cache, then finish consumers
+                if isinstance(output, ExecutionFault):
+                    # Recover in-parent: the first consumer re-runs the
+                    # evolution through the state cache (seeded with the
+                    # pool's fault so retry/degradation apply); later
+                    # consumers are then served by that cache line.
+                    fault: ExecutionFault | None = output
+                    for consumer_kind, consumer_ref in dm_consumers[ref]:
+                        if consumer_kind == "direct":
+                            request = prepared[consumer_ref]
+                            result, failed = self._guarded(
+                                request, shots, max_trajectories, isolate, first_fault=fault
+                            )
+                            fault = None
+                            if failed is not None:
+                                self.stats.isolated_failures += 1
+                                results[consumer_ref] = failed
+                            else:
+                                results[consumer_ref] = self._deliver(result, request)
+                        else:
+                            request = prepared[pending[consumer_ref][0]]
+                            result, failed = self._guarded(
+                                request, shots, max_trajectories, isolate, first_fault=fault
+                            )
+                            fault = None
+                            if failed is not None:
+                                fail_pending(consumer_ref, failed)
+                            else:
+                                if "degraded_from" not in result.metadata:
+                                    self._cache_put(consumer_ref, result)
+                                for index in pending[consumer_ref]:
+                                    results[index] = self._deliver(result, prepared[index])
+                    continue
                 self._cache_put(ref, (output.distribution, list(output.measured_qubits)))
                 for consumer_kind, consumer_ref in dm_consumers[ref]:
                     if consumer_kind == "direct":
@@ -581,8 +906,7 @@ class ExecutionEngine:
                         self._cache_put(consumer_ref, result)
                         for index in pending[consumer_ref]:
                             results[index] = self._deliver(result, prepared[index])
-        if any(r is None for r in results):
-            raise RuntimeError("internal error: a request was dispatched without a result")
+        self._check_delivered(results, prepared)
         return results  # type: ignore[return-value]
 
     def _task_for(
@@ -597,13 +921,19 @@ class ExecutionEngine:
             max_trajectories=max_trajectories,
             fusion=request.fusion,
             fusion_max_qubits=self.fusion_max_qubits,
+            fingerprint=request.fingerprint,
         )
 
     def _get_sharder(self, workers: int) -> ParallelSharder:
         if self._sharder is None or self._sharder.workers != workers:
             if self._sharder is not None:
                 self._sharder.shutdown()
-            self._sharder = ParallelSharder(workers, chunk_size=self.chunk_size)
+            self._sharder = ParallelSharder(
+                workers,
+                chunk_size=self.chunk_size,
+                retry_policy=self.retry_policy,
+                task_timeout=self.task_timeout,
+            )
         return self._sharder
 
     def close(self) -> None:
@@ -796,8 +1126,84 @@ class ExecutionEngine:
     # Execution and delivery
     # ------------------------------------------------------------------
 
+    def _execute_with_policy(
+        self,
+        request: _Prepared,
+        shots: int | None,
+        max_trajectories: int,
+        first_fault: ExecutionFault | None = None,
+    ) -> ExecutionResult:
+        """Run one request under the retry policy and the degradation ladder.
+
+        The recovery loop the execute paths share:
+
+        * a :class:`BackendUnavailableError` walks one rung down the backend
+          ladder (stabilizer → trajectory ensemble → per-trajectory loop)
+          instead of counting as an attempt;
+        * a retryable fault (per :attr:`retry_policy`) sleeps the policy's
+          deterministic backoff and re-runs, up to ``max_attempts``;
+        * anything else is terminal: taxonomy faults are raised annotated
+          with the attempt count, bare exceptions (usage errors such as
+          "statevector cannot apply noise") propagate unmodified so
+          pre-taxonomy callers keep seeing the types they catch.
+
+        ``first_fault`` seeds the loop with a fault that already happened
+        elsewhere (a pool worker): recovery then starts at the classify
+        step, and injector directives are re-resolved as *retries* (only
+        sticky poison re-fires — the Nth-task ordinal was consumed by the
+        original dispatch).
+        """
+        policy = self.retry_policy
+        method = request.method
+        attempt = 1
+        fault = first_fault
+        # The first in-loop execution consumes a fresh injector ordinal only
+        # when nothing was dispatched for this request yet.
+        fresh = first_fault is None
+        while True:
+            if fault is not None:
+                if isinstance(fault, BackendUnavailableError) and method in _DEGRADATION_LADDER:
+                    method = _DEGRADATION_LADDER[method]
+                    self.stats.degraded_backend += 1
+                elif policy.is_retryable(fault) and attempt < policy.max_attempts:
+                    self.stats.retries += 1
+                    policy.sleep(attempt, seed=request.seed)
+                    attempt += 1
+                else:
+                    fault.attempts = attempt
+                    raise fault
+                fault = None
+            directive = None
+            injector = self._fault_injector
+            if injector is not None:
+                directive = (
+                    injector.take_directive(request.fingerprint)
+                    if fresh
+                    else injector.retry_directive(request.fingerprint)
+                )
+            fresh = False
+            try:
+                result = self._run(
+                    request, shots, max_trajectories, method=method, directive=directive
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except ExecutionFault as exc:
+                fault = exc
+                continue
+            if method != request.method:
+                # Mark the slot so callers can see the degradation and the
+                # cache layer knows not to store it under the healthy key.
+                result.metadata["degraded_from"] = request.method
+            return result
+
     def _run(
-        self, request: _Prepared, shots: int | None, max_trajectories: int
+        self,
+        request: _Prepared,
+        shots: int | None,
+        max_trajectories: int,
+        method: str | None = None,
+        directive: tuple | None = None,
     ) -> ExecutionResult:
         """Execute one prepared request and return a compact-space result.
 
@@ -805,11 +1211,37 @@ class ExecutionEngine:
         they are remapped to the requester's embedding in :meth:`_deliver`,
         never here — the result may be cached and served to requesters with
         different embeddings of the same compact structure.
+
+        ``method`` overrides the request's resolved method (the degradation
+        ladder runs a lower rung without re-preparing); ``directive`` is an
+        injected chaos fault applied before anything executes.
         """
+        method = method or request.method
+        apply_injected_directive(
+            directive, fingerprint=request.fingerprint, method=method, in_worker=False
+        )
         self.stats.executed += 1
-        if request.method == "stabilizer":
+        if method == "stabilizer":
             self.stats.stabilizer_executed += 1
-        if request.method == "density_matrix":
+        if method == "trajectory_loop":
+            # Last ladder rung: the per-trajectory reference loop — slowest
+            # backend, fewest assumptions.  Same sampling contract as the
+            # ensemble (counts + measured qubits under the derived seed).
+            counts, measured_qubits = simulate_trajectories_batched(
+                request.compact,
+                request.noise,
+                shots=shots or DEFAULT_TRAJECTORY_SHOTS,
+                seed=request.seed,
+                max_trajectories=max_trajectories,
+            )
+            return ExecutionResult(
+                distribution=counts.to_distribution(),
+                measured_qubits=measured_qubits,
+                counts=counts,
+                shots=counts.shots,
+                method="trajectory",
+            )
+        if method == "density_matrix":
             # Readout-factored path: the expensive gate-noise evolution is
             # served by the state cache; only the confusion differs per
             # request.  Arithmetic matches run_compact_task's uncached
@@ -828,8 +1260,13 @@ class ExecutionEngine:
                 result.distribution = counts.to_distribution()
             return result
         # Statevector and trajectory share the pure compute function with
-        # the pool workers — one code path, bit-identical results.
-        return run_compact_task(self._task_for(request, shots, max_trajectories))
+        # the pool workers — one code path, bit-identical results.  The
+        # method override (a degraded ladder rung) replaces the request's
+        # resolved method without re-preparing.
+        task = self._task_for(request, shots, max_trajectories)
+        if method != request.method:
+            task = dataclasses.replace(task, method=method)
+        return run_compact_task(task)
 
     def _gate_noise_for(self, noise: NoiseModel) -> tuple[NoiseModel, str]:
         """Memoised readout-free derivative of ``noise`` and its fingerprint."""

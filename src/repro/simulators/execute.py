@@ -125,6 +125,8 @@ def execute_many(
     workers: int | None = None,
     cache_dir: str | None = None,
     device=None,
+    on_error: str = "raise",
+    retry_policy=None,
 ) -> list[ExecutionResult]:
     """Run a batch of circuits through a fresh :class:`ExecutionEngine`.
 
@@ -135,6 +137,12 @@ def execute_many(
     and reuse their own :class:`~repro.simulators.engine.ExecutionEngine`
     instead — the engine's in-memory cache and worker pool amortise across
     calls, this helper's do not.
+
+    ``on_error="isolate"`` returns a
+    :class:`~repro.simulators.result.FailedResult` in each failed slot
+    instead of aborting the batch; ``retry_policy`` (a
+    :class:`~repro.simulators.faults.RetryPolicy`) governs re-attempts
+    after transient faults and pool crashes.
     """
     from .engine import ExecutionEngine  # local import: engine imports this module
 
@@ -143,6 +151,8 @@ def execute_many(
         fusion=fusion,
         workers=workers,
         cache_dir=cache_dir,
+        retry_policy=retry_policy,
+        on_error=on_error,
     ) as engine:
         return engine.execute_many(
             circuits,

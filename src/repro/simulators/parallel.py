@@ -25,18 +25,50 @@ any result, only the wall-clock. Unseeded (uncacheable) requests draw fresh
 OS entropy in the worker exactly as they would in the parent: independent
 across occurrences either way.
 
+Fault containment
+-----------------
+Failure is per-task, never per-batch:
+
+* an exception inside :func:`run_compact_task` is flattened into a
+  picklable :class:`~repro.simulators.faults.TaskFailureMarker` by the
+  chunk runner, so one poison circuit cannot lose its chunk-mates' results
+  (the engine's retry / degradation / isolation policy decides what happens
+  to the failed slot);
+* a **killed worker** breaks the whole pool
+  (:class:`~concurrent.futures.process.BrokenProcessPool`); the sharder
+  respawns the pool and retries *only the in-flight chunks*, splitting a
+  multi-task chunk into singletons first so a crash-inducing task is
+  isolated to its own retry instead of repeatedly taking healthy neighbours
+  down with it.  Attempts are bounded by the sharder's
+  :class:`~repro.simulators.faults.RetryPolicy`; a task that exhausts them
+  yields a :class:`~repro.simulators.faults.WorkerCrashError`;
+* with ``task_timeout`` set, every dispatched task gets a wall-clock budget
+  measured from dispatch; a blown budget cancels the future, yields a
+  :class:`~repro.simulators.faults.TaskTimeoutError` for that slot, and the
+  pool is recycled (the stuck worker would otherwise poison later batches);
+* after ``retry_policy.max_attempts`` pool respawns within one batch the
+  sharder **degrades to serial** in-process execution for the remainder of
+  the batch (the parallel→serial rung of the engine's degradation ladder)
+  and re-probes the pool on the next batch — a transient crash storm does
+  not permanently cost the session its parallelism.
+
 Fallback
 --------
 Sandboxes and exotic platforms sometimes cannot spawn worker processes at
 all.  :class:`ParallelSharder` degrades to in-process serial execution when
-the pool cannot be created (recording :attr:`ParallelSharder.fallback_reason`)
-— results are identical, only slower.
+the pool cannot be created, recording :attr:`ParallelSharder.fallback_reason`
+(surfaced on ``EngineStats.fallback_reason``) and logging a warning — never
+silently.  Creation is re-probed on the next batch, up to a small cap of
+consecutive creation failures for platforms that genuinely cannot fork.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
+import logging
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Sequence
 
@@ -46,6 +78,16 @@ from ..circuits import QuantumCircuit
 from ..noise import NoiseModel
 from .density_matrix import _apply_confusion_bit, noisy_distribution_density_matrix
 from .ensemble import simulate_trajectories_ensemble
+from .faults import (
+    ExecutionFault,
+    RetryPolicy,
+    TaskFailureMarker,
+    TaskTimeoutError,
+    WorkerCrashError,
+    apply_injected_directive,
+    fault_from_marker,
+    marker_from_exception,
+)
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .result import ExecutionResult
 from .stabilizer import simulate_stabilizer_trajectories
@@ -58,6 +100,8 @@ __all__ = [
     "DEFAULT_CHUNKS_PER_WORKER",
     "DEFAULT_TRAJECTORY_SHOTS",
 ]
+
+logger = logging.getLogger(__name__)
 
 # Shot budget used when the trajectory method (which always samples) is
 # invoked without an explicit ``shots``.  Lives here — next to the compute
@@ -72,6 +116,11 @@ DEFAULT_TRAJECTORY_SHOTS = 4096
 # workers idle, without paying per-task IPC for tiny tasks.
 DEFAULT_CHUNKS_PER_WORKER = 4
 
+# Consecutive pool-*creation* failures tolerated before the sharder stops
+# re-probing each batch (platforms that cannot fork at all fail every time;
+# re-probing forever would pay an exception per batch for nothing).
+MAX_CREATION_FAILURES = 3
+
 
 @dataclasses.dataclass
 class CompactTask:
@@ -80,6 +129,8 @@ class CompactTask:
     Fields mirror the engine's ``_Prepared`` after cache lookup: the circuit
     is already compacted, the noise model already remapped, the method
     already resolved and the seed already derived — a worker only computes.
+    ``fingerprint`` is carried for fault attribution only (a failure marker
+    names the offending circuit); it does not influence the computation.
     """
 
     circuit: QuantumCircuit
@@ -90,6 +141,7 @@ class CompactTask:
     max_trajectories: int
     fusion: bool
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS
+    fingerprint: str | None = None
 
 
 def run_compact_task(task: CompactTask) -> ExecutionResult:
@@ -176,6 +228,49 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
     raise ValueError(f"unresolved method {task.method!r}")
 
 
+def _run_task_chunk(pairs: list) -> list:
+    """Worker entry point: run ``[(task, directive), ...]``, isolating failures.
+
+    Returns one slot per task: an :class:`ExecutionResult` on success, a
+    picklable :class:`TaskFailureMarker` on failure — a raising task never
+    loses its chunk-mates' finished results.  Injected ``kill`` directives
+    terminate the worker process itself (the parent sees the broken pool);
+    everything else is contained here.
+    """
+    outcomes: list = []
+    for task, directive in pairs:
+        try:
+            apply_injected_directive(
+                directive,
+                fingerprint=task.fingerprint,
+                method=task.method,
+                in_worker=True,
+            )
+            outcomes.append(run_compact_task(task))
+        except BaseException as exc:  # noqa: BLE001 - flattened for the parent
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            outcomes.append(
+                marker_from_exception(exc, fingerprint=task.fingerprint, method=task.method)
+            )
+    return outcomes
+
+
+def _run_pair_inprocess(task: CompactTask, directive) -> ExecutionResult | ExecutionFault:
+    """In-process twin of the worker loop body (fallback / serial rung)."""
+    try:
+        apply_injected_directive(
+            directive, fingerprint=task.fingerprint, method=task.method, in_worker=False
+        )
+        return run_compact_task(task)
+    except ExecutionFault as fault:
+        return fault
+    except Exception as exc:
+        return fault_from_marker(
+            marker_from_exception(exc, fingerprint=task.fingerprint, method=task.method)
+        )
+
+
 def apply_readout_confusion(
     distribution, measured_qubits: Sequence[int], noise: NoiseModel
 ):
@@ -203,7 +298,16 @@ class ParallelSharder:
         execution (no pool is ever created).
     chunk_size:
         Tasks per pickled work unit.  ``None`` auto-sizes to about
-        ``len(tasks) / (workers * DEFAULT_CHUNKS_PER_WORKER)``.
+        ``len(tasks) / (workers * DEFAULT_CHUNKS_PER_WORKER)``.  Forced to
+        ``1`` when ``task_timeout`` is set (per-task budgets need per-task
+        futures).
+    retry_policy:
+        Governs pool-crash recovery: how many attempts each task gets when
+        its worker dies, and the (deterministic) backoff between respawns.
+        Defaults to the module default policy.
+    task_timeout:
+        Wall-clock seconds each dispatched task may take, measured from
+        dispatch of its wave.  ``None`` (default) disables timeouts.
 
     The pool is created on first use and reused across batches (worker
     startup is paid once per engine, not once per ``execute_many`` call).
@@ -211,13 +315,25 @@ class ParallelSharder:
     to release the processes early.
     """
 
-    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
         self.workers = int(workers)
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.task_timeout = task_timeout
+        # Why the sharder last ran (or is running) without its pool; sticky
+        # record for telemetry — the pool itself is re-probed per batch.
         self.fallback_reason: str | None = None
         # Tasks of the most recent run() that actually executed in pool
         # workers (0 when the run short-circuited in-process or fell back).
@@ -225,44 +341,217 @@ class ParallelSharder:
         # ``EngineStats.parallel_executed`` so the stat never overstates
         # parallelism.
         self.last_dispatched = 0
+        # Pool respawns of the most recent run() / over the sharder's life.
+        self.last_respawns = 0
+        self.pool_respawns = 0
         self._executor: ProcessPoolExecutor | None = None
+        self._creation_failures = 0
 
     def _pool(self) -> ProcessPoolExecutor | None:
-        if self.fallback_reason is not None:
+        if self._creation_failures >= MAX_CREATION_FAILURES:
             return None
         if self._executor is None:
             try:
                 self._executor = ProcessPoolExecutor(max_workers=self.workers)
             except (OSError, ValueError, RuntimeError) as exc:
                 # No /dev/shm, fork blocked, resource limits: degrade to
-                # serial in-process execution — identical results.
-                self.fallback_reason = f"{type(exc).__name__}: {exc}"
+                # serial in-process execution — identical results.  The
+                # reason is recorded (and surfaced on EngineStats) and
+                # creation is re-probed on the next batch, up to the cap.
+                self._creation_failures += 1
+                self.fallback_reason = f"pool creation failed: {type(exc).__name__}: {exc}"
+                logger.warning(
+                    "ParallelSharder falling back in-process (%s); "
+                    "re-probing on the next batch (%d/%d failures)",
+                    self.fallback_reason,
+                    self._creation_failures,
+                    MAX_CREATION_FAILURES,
+                )
                 return None
+        self._creation_failures = 0
         return self._executor
 
-    def run(self, tasks: Sequence[CompactTask]) -> list[ExecutionResult]:
-        """Execute ``tasks`` and return results in task order."""
+    def run(
+        self,
+        tasks: Sequence[CompactTask],
+        directives: Sequence[tuple | None] | None = None,
+        isolate: bool = False,
+    ) -> list:
+        """Execute ``tasks`` and return outcomes in task order.
+
+        ``directives`` (one per task, parent-resolved by the engine's
+        :class:`~repro.simulators.faults.FaultInjector`) are applied at each
+        task's execution site.  With ``isolate=True`` every slot is either
+        an :class:`ExecutionResult` or the structured
+        :class:`~repro.simulators.faults.ExecutionFault` that terminated it;
+        with ``isolate=False`` (the pre-fault-tolerance contract) the first
+        fault is raised after the batch drains.
+        """
         tasks = list(tasks)
         self.last_dispatched = 0
+        self.last_respawns = 0
         if not tasks:
             return []
+        pairs = [
+            (task, directives[i] if directives is not None else None)
+            for i, task in enumerate(tasks)
+        ]
         # A single task gains nothing from IPC; the pool pays off from two.
         if self.workers == 1 or len(tasks) == 1:
-            return [run_compact_task(task) for task in tasks]
-        pool = self._pool()
-        if pool is None:
-            return [run_compact_task(task) for task in tasks]
-        chunk = self.chunk_size
+            outcomes = [_run_pair_inprocess(task, directive) for task, directive in pairs]
+            return self._finish(outcomes, isolate)
+
+        outcomes: list = [None] * len(tasks)
+        chunk = 1 if self.task_timeout is not None else self.chunk_size
         if chunk is None:
             chunk = max(1, -(-len(tasks) // (self.workers * DEFAULT_CHUNKS_PER_WORKER)))
-        try:
-            results = list(pool.map(run_compact_task, tasks, chunksize=chunk))
-        except BrokenProcessPool:  # pragma: no cover - worker killed externally
-            self.shutdown()
-            self.fallback_reason = "process pool broke mid-batch"
-            return [run_compact_task(task) for task in tasks]
-        self.last_dispatched = len(tasks)
-        return results
+        queue: deque = deque(
+            (tuple(range(start, min(start + chunk, len(tasks)))), 1)
+            for start in range(0, len(tasks), chunk)
+        )
+
+        batch_respawns = 0
+        while queue:
+            pool = self._pool()
+            if pool is None or batch_respawns >= self.retry_policy.max_attempts:
+                if pool is not None:
+                    # Repeated crashes this batch: parallel -> serial rung.
+                    self.fallback_reason = (
+                        f"process pool broke {batch_respawns}x in one batch"
+                    )
+                    logger.warning(
+                        "ParallelSharder degrading to serial for the rest of "
+                        "the batch (%s)",
+                        self.fallback_reason,
+                    )
+                while queue:
+                    indices, _ = queue.popleft()
+                    for i in indices:
+                        if outcomes[i] is None:
+                            outcomes[i] = _run_pair_inprocess(*pairs[i])
+                break
+
+            wave = list(queue)
+            queue.clear()
+            futures = []
+            dispatched_at = time.monotonic()
+            try:
+                for indices, attempt in wave:
+                    futures.append(
+                        (pool.submit(_run_task_chunk, [pairs[i] for i in indices]), indices, attempt)
+                    )
+            except BrokenProcessPool:
+                # Pool died while submitting: recycle and retry the wave.
+                self._respawn("pool broke during submission")
+                batch_respawns += 1
+                queue.extend(self._requeue(wave, outcomes, pairs))
+                continue
+
+            broken = False
+            timed_out = False
+            for future, indices, attempt in futures:
+                if broken:
+                    # The pool is gone; every remaining future died with it.
+                    queue.extend(self._requeue([(indices, attempt)], outcomes, pairs))
+                    continue
+                budget = None
+                if self.task_timeout is not None:
+                    budget = max(
+                        0.001,
+                        dispatched_at + self.task_timeout * attempt - time.monotonic(),
+                    )
+                try:
+                    chunk_outcomes = future.result(timeout=budget)
+                except BrokenProcessPool:
+                    broken = True
+                    self._respawn("worker process died mid-task")
+                    batch_respawns += 1
+                    queue.extend(self._requeue([(indices, attempt)], outcomes, pairs))
+                    continue
+                except FutureTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    for i in indices:
+                        task = tasks[i]
+                        outcomes[i] = TaskTimeoutError(
+                            f"task exceeded its {self.task_timeout:.3f}s wall-clock budget",
+                            fingerprint=task.fingerprint,
+                            method=task.method,
+                            stage="dispatch",
+                        )
+                    continue
+                self.last_dispatched += len(indices)
+                for i, outcome in zip(indices, chunk_outcomes):
+                    if isinstance(outcome, TaskFailureMarker):
+                        outcomes[i] = fault_from_marker(outcome)
+                    else:
+                        outcomes[i] = outcome
+            if timed_out and not broken:
+                # A stuck worker would silently poison the next batch's
+                # capacity; recycle the pool without waiting on it.
+                self._respawn("stuck worker after task timeout", wait=False)
+
+        # Tasks whose retries were exhausted without an outcome.
+        for i, outcome in enumerate(outcomes):
+            if outcome is None:
+                task = tasks[i]
+                outcomes[i] = WorkerCrashError(
+                    f"worker died on every attempt "
+                    f"({self.retry_policy.max_attempts} allowed)",
+                    fingerprint=task.fingerprint,
+                    method=task.method,
+                    stage="dispatch",
+                )
+        return self._finish(outcomes, isolate)
+
+    def _respawn(self, reason: str, wait: bool = True) -> None:
+        """Drop the broken/stuck pool; the next :meth:`_pool` call respawns."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=wait, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self.pool_respawns += 1
+        self.last_respawns += 1
+        logger.warning("ParallelSharder respawning process pool: %s", reason)
+
+    def _requeue(self, entries, outcomes, pairs) -> list:
+        """Retry schedule for chunks lost to a broken pool.
+
+        Multi-task chunks are split into singletons (isolating a
+        crash-inducing task from its healthy neighbours); consumed ``kill``
+        directives are stripped (the injected crash already fired).  Tasks
+        out of attempts keep their empty slot — :meth:`run` materialises the
+        terminal :class:`WorkerCrashError` after the queue drains.  Sleeps
+        the policy's deterministic backoff once per requeue round.
+        """
+        crash_retryable = self.retry_policy.is_retryable(WorkerCrashError("probe"))
+        requeued = []
+        slept = False
+        for indices, attempt in entries:
+            alive = [i for i in indices if outcomes[i] is None]
+            if not alive:
+                continue
+            if attempt >= self.retry_policy.max_attempts or not crash_retryable:
+                continue
+            if not slept:
+                self.retry_policy.sleep(attempt, seed=attempt)
+                slept = True
+            for i in alive:
+                task, directive = pairs[i]
+                if directive is not None and directive[0] == "kill":
+                    pairs[i] = (task, None)
+                requeued.append(((i,), attempt + 1))
+        return requeued
+
+    def _finish(self, outcomes: list, isolate: bool) -> list:
+        if not isolate:
+            for outcome in outcomes:
+                if isinstance(outcome, ExecutionFault):
+                    raise outcome
+        return outcomes
 
     def shutdown(self) -> None:
         if self._executor is not None:

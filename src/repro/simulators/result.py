@@ -1,4 +1,10 @@
-"""Execution results returned by :func:`repro.simulators.execute.execute`."""
+"""Execution results returned by :func:`repro.simulators.execute.execute`.
+
+A batch run in isolated-failure mode (``execute_many(on_error="isolate")``)
+returns a :class:`FailedResult` in the slot of each circuit that could not
+be executed; healthy slots carry :class:`ExecutionResult` as usual.  Both
+expose ``ok`` so callers can filter without ``isinstance`` checks.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,7 @@ from typing import Any
 
 from ..distributions import Counts, ProbabilityDistribution
 
-__all__ = ["ExecutionResult"]
+__all__ = ["ExecutionResult", "FailedResult"]
 
 
 @dataclasses.dataclass
@@ -41,6 +47,11 @@ class ExecutionResult:
     metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
+    def ok(self) -> bool:
+        """Healthy result — the counterpart of :attr:`FailedResult.ok`."""
+        return True
+
+    @property
     def num_bits(self) -> int:
         return self.distribution.num_bits
 
@@ -55,3 +66,40 @@ class ExecutionResult:
         """Marginal distribution over the given qubits (in the given order)."""
         bits = [self.bit_for_qubit(q) for q in qubits]
         return self.distribution.marginal(bits)
+
+
+@dataclasses.dataclass
+class FailedResult:
+    """Placeholder slot for a circuit that failed in isolated-failure mode.
+
+    Returned by ``execute_many(on_error="isolate")`` in the position of each
+    circuit whose execution (or compilation) failed after retry and
+    degradation were exhausted.  Carries the structured fault so the caller
+    can triage without re-running:
+
+    Attributes
+    ----------
+    error:
+        The terminal :class:`~repro.simulators.faults.ExecutionFault`.
+    fingerprint / method / stage:
+        Context mirrored off the fault for quick filtering: the offending
+        circuit's content fingerprint, the resolved simulation method, and
+        the pipeline stage that failed.
+    attempts:
+        Execution attempts consumed (1 = failed on first try, no retry).
+    """
+
+    error: Exception
+    fingerprint: str | None = None
+    method: str | None = None
+    stage: str | None = None
+    attempts: int = 1
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def raise_error(self) -> None:
+        """Re-raise the terminal fault (for callers that want raise semantics)."""
+        raise self.error
