@@ -220,7 +220,11 @@ class CalibrationRunner:
 
     def run(self) -> CalibrationRecord:
         """Execute the plan and fit a :class:`CalibrationRecord` from counts."""
-        started = time.time()
+        # Durations come from the monotonic clock: time.time() can step
+        # backwards under NTP and poison persisted provenance with
+        # negative durations.  Wall-clock time is only ever used for the
+        # absolute created_at stamp below.
+        started = time.perf_counter()
         specs = self.plan()
         stats_before = self.engine.stats.to_dict()
         results = self.engine.execute_many(
@@ -231,6 +235,11 @@ class CalibrationRunner:
             method=self.method,
             on_error=self.on_error,
         )
+        # Provenance link into the execution-trace layer: the calibration
+        # batch just ran as one trace, so the record can name the exact
+        # JSONL artifact that explains its timings and cache behaviour.
+        tracer = getattr(self.engine, "tracer", None)
+        trace_id = tracer.last_trace_id if tracer is not None else None
         failed_circuits = sum(1 for result in results if not result.ok)
         # Provenance wants *this run's* accounting; on a shared engine the
         # live counters are cumulative, so record the delta — of the
@@ -268,7 +277,7 @@ class CalibrationRunner:
             metadata={
                 "num_circuits": len(specs),
                 "failed_circuits": failed_circuits,
-                "duration_seconds": round(time.time() - started, 3),
+                "duration_seconds": round(time.perf_counter() - started, 3),
                 "rb_lengths": list(self.rb_lengths),
                 "rb_samples": self.rb_samples,
                 "interleaved_gate": self.interleaved_gate,
@@ -277,6 +286,7 @@ class CalibrationRunner:
                 "pauli_samples": self.pauli_samples,
                 "readout_chunk_size": self.readout_chunk_size,
                 "engine_stats": engine_stats,
+                **({"trace_id": trace_id} if trace_id is not None else {}),
             },
         )
 

@@ -31,6 +31,7 @@ from ..distributions import (
 )
 from ..noise import DeviceModel, NoiseModel, as_noise_model
 from ..simulators import ExecutionEngine, ideal_distribution
+from ..tracing import maybe_span
 from ..transpiler import count_two_qubit_basis_gates, noise_aware_layout
 from .analysis import SubsetAnalysis, analyse_subset
 from .optimizations import (
@@ -291,34 +292,52 @@ class QuTracer:
                 if q not in measured:
                     raise ValueError(f"subset qubit {q} is not measured by the circuit")
 
-        global_result = self.engine.execute(
-            circuit,
-            self._noise_for(circuit),
+        # When the shared engine records traces, the whole mitigation run
+        # becomes ONE trace: a qutracer root span with the global run, each
+        # subset sweep and the Bayesian update as child stages, and every
+        # engine batch (and its compile/cache/execute events) nested inside
+        # the stage that submitted it.
+        tracer = getattr(self.engine, "tracer", None)
+        with maybe_span(
+            tracer,
+            "qutracer.run",
+            subsets=[list(s) for s in subsets],
             shots=self.shots,
             seed=self.seed,
-            max_trajectories=self.max_trajectories,
-            device=self.device if self.compile else None,
-        )
-        ideal = ideal_distribution(circuit)
+        ):
+            with maybe_span(tracer, "qutracer.global"):
+                global_result = self.engine.execute(
+                    circuit,
+                    self._noise_for(circuit),
+                    shots=self.shots,
+                    seed=self.seed,
+                    max_trajectories=self.max_trajectories,
+                    device=self.device if self.compile else None,
+                )
+                ideal = ideal_distribution(circuit)
 
-        stripped = circuit.remove_final_measurements()
-        subset_results = []
-        locals_for_update = []
-        for index, subset in enumerate(subsets):
-            subset_seed = None if self.seed is None else self.seed + 13 * (index + 1)
-            result = self.trace_subset(stripped, subset, checked_layers=checked_layers, seed=subset_seed)
-            subset_results.append(result)
-            ordered = sorted(subset)
-            bits = [sorted(measured).index(q) for q in ordered]
-            # local_distribution bit i corresponds to subset[i]; reorder to the
-            # sorted-qubit convention used by the global distribution.
-            reorder = [subset.index(q) for q in ordered]
-            local_sorted = result.local_distribution.marginal(reorder)
-            locals_for_update.append((local_sorted, bits))
+            stripped = circuit.remove_final_measurements()
+            subset_results = []
+            locals_for_update = []
+            for index, subset in enumerate(subsets):
+                subset_seed = None if self.seed is None else self.seed + 13 * (index + 1)
+                with maybe_span(tracer, "qutracer.subset", subset=list(subset)):
+                    result = self.trace_subset(
+                        stripped, subset, checked_layers=checked_layers, seed=subset_seed
+                    )
+                subset_results.append(result)
+                ordered = sorted(subset)
+                bits = [sorted(measured).index(q) for q in ordered]
+                # local_distribution bit i corresponds to subset[i]; reorder to the
+                # sorted-qubit convention used by the global distribution.
+                reorder = [subset.index(q) for q in ordered]
+                local_sorted = result.local_distribution.marginal(reorder)
+                locals_for_update.append((local_sorted, bits))
 
-        mitigated = iterative_bayesian_update(
-            global_result.distribution, locals_for_update, rounds=self.options.update_rounds
-        )
+            with maybe_span(tracer, "qutracer.update", rounds=self.options.update_rounds):
+                mitigated = iterative_bayesian_update(
+                    global_result.distribution, locals_for_update, rounds=self.options.update_rounds
+                )
         return QuTracerResult(
             circuit=circuit,
             global_distribution=global_result.distribution,

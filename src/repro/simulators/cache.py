@@ -225,6 +225,15 @@ class PersistentResultCache:
             fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
+            # Overwrites replace an existing entry: its size must come off
+            # the running estimate or repeated puts of one key inflate
+            # _approx_bytes and drive premature eviction.
+            replaced_bytes = 0
+            if self.max_bytes is not None:
+                try:
+                    replaced_bytes = os.stat(path).st_size
+                except OSError:
+                    replaced_bytes = 0
             os.replace(temp_path, path)
         except OSError:
             if temp_path is not None:
@@ -248,7 +257,7 @@ class PersistentResultCache:
             if self._approx_bytes is None:
                 self._approx_bytes = self.total_bytes()
             else:
-                self._approx_bytes += len(payload)
+                self._approx_bytes += len(payload) - replaced_bytes
             if self._approx_bytes > self.max_bytes:
                 self._evict()
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import time
 import weakref
 from collections import OrderedDict
 from typing import Any, Sequence
@@ -52,6 +53,7 @@ import numpy as np
 from ..circuits import QuantumCircuit, circuit_fingerprint
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
 from ..noise import NoiseModel, as_noise_model
+from ..tracing import TraceRecorder, TraceStore, result_digest
 from ..transpiler.compilation import CompilationCache, CompiledCircuit
 from .cache import DEFAULT_MAX_BYTES, PersistentResultCache
 from .density_matrix import noisy_distribution_density_matrix
@@ -65,6 +67,7 @@ from .faults import (
     SimulationError,
     TranspilationError,
     apply_injected_directive,
+    fault_annotation,
 )
 from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .parallel import (
@@ -162,23 +165,19 @@ class EngineStats:
         return snapshot
 
     def reset(self) -> None:
-        self.requests = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batch_dedup_hits = 0
-        self.uncacheable = 0
-        self.executed = 0
-        self.state_cache_hits = 0
-        self.persistent_hits = 0
-        self.parallel_executed = 0
-        self.compile_hits = 0
-        self.compile_misses = 0
-        self.stabilizer_executed = 0
-        self.retries = 0
-        self.isolated_failures = 0
-        self.degraded_backend = 0
-        self.pool_respawns = 0
-        self.fallback_reason = None
+        """Return every field to its dataclass default.
+
+        Field-driven so a newly added counter can never be silently
+        skipped — hand-listing fields here is how stale telemetry leaked
+        across runs before.
+        """
+        for field in dataclasses.fields(self):
+            if field.default is not dataclasses.MISSING:
+                setattr(self, field.name, field.default)
+            elif field.default_factory is not dataclasses.MISSING:
+                setattr(self, field.name, field.default_factory())
+            else:  # pragma: no cover - every stats field has a default
+                raise TypeError(f"EngineStats.{field.name} has no default to reset to")
 
 
 @dataclasses.dataclass
@@ -271,6 +270,17 @@ class ExecutionEngine:
         terminal fault aborts the batch; ``"isolate"`` converts each failed
         slot into a :class:`~repro.simulators.result.FailedResult` and
         completes every healthy slot bit-identically to a fault-free run.
+    tracer:
+        A :class:`~repro.tracing.TraceRecorder` to record per-batch
+        execution traces into (``None`` disables tracing; traced and
+        untraced runs are bit-identical).  Every :meth:`execute_many`
+        call becomes one trace: per-stage timings, cache-tier
+        attribution, resolved methods and fault annotations, with pool
+        workers reporting span fragments through the task metadata.
+    trace_dir:
+        Convenience: directory for persisted JSONL trace artifacts.
+        Builds ``TraceRecorder(store=TraceStore(trace_dir))`` when no
+        explicit ``tracer`` is given; ignored otherwise.
     """
 
     def __init__(
@@ -289,6 +299,8 @@ class ExecutionEngine:
         retry_policy: RetryPolicy | None = None,
         task_timeout: float | None = None,
         on_error: str = "raise",
+        tracer: TraceRecorder | None = None,
+        trace_dir: str | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -307,6 +319,9 @@ class ExecutionEngine:
         self.retry_policy = retry_policy or RetryPolicy()
         self.task_timeout = task_timeout
         self.on_error = on_error
+        if tracer is None and trace_dir is not None:
+            tracer = TraceRecorder(store=TraceStore(trace_dir))
+        self.tracer = tracer
         self._fault_injector: FaultInjector | None = None
         self._sharder: ParallelSharder | None = None
         self._persistent = (
@@ -391,6 +406,14 @@ class ExecutionEngine:
         self._fault_injector = injector
         if self._persistent is not None:
             self._persistent.fault_injector = injector
+
+    def install_tracer(self, tracer: TraceRecorder | None) -> None:
+        """Install (or, with ``None``, remove) an execution-trace recorder.
+
+        Takes effect on the next :meth:`execute_many` call; traced and
+        untraced runs return bit-identical results.
+        """
+        self.tracer = tracer
 
     def execute_many(
         self,
@@ -484,6 +507,49 @@ class ExecutionEngine:
         bad ``on_error``) always raise — they doom the whole batch, not a
         slot.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._execute_many_impl(
+                circuits, noise_model, shots, seed, method, max_trajectories,
+                fusion, workers, device, on_error,
+            )
+        # One execute_many call == one trace.  The root span closes (and
+        # the trace flushes to storage) even when a terminal fault aborts
+        # the batch in raise mode — an aborted batch still leaves a
+        # complete post-mortem artifact.
+        span = tracer.start_span(
+            "engine.execute_many",
+            requests=len(circuits),
+            shots=shots,
+            seed=seed,
+            method=method,
+            on_error=self.on_error if on_error is None else on_error,
+        )
+        try:
+            results = self._execute_many_impl(
+                circuits, noise_model, shots, seed, method, max_trajectories,
+                fusion, workers, device, on_error,
+            )
+        except BaseException as exc:
+            tracer.end_span(span, status="raised", **fault_annotation(exc))
+            raise
+        tracer.end_span(span, status="ok")
+        return results
+
+    def _execute_many_impl(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        noise_model,
+        shots: int | None,
+        seed: int | None,
+        method: str,
+        max_trajectories: int | None,
+        fusion: bool | None,
+        workers: int | None,
+        device,
+        on_error: str | None,
+    ) -> list[ExecutionResult | FailedResult]:
+        tracer = self.tracer
         on_error = self.on_error if on_error is None else on_error
         if on_error not in ("raise", "isolate"):
             raise ValueError("on_error must be 'raise' or 'isolate'")
@@ -500,8 +566,14 @@ class ExecutionEngine:
         max_trajectories = max_trajectories or self.max_trajectories
         fusion = self.fusion if fusion is None else bool(fusion)
         workers = (self.workers or 1) if workers is None else int(workers)
+        # Per-slot trace bookkeeping ("bt"): stage timings and cache-tier
+        # attribution, emitted as one "request" event per slot at batch
+        # end.  None when tracing is off — every emit site is guarded, so
+        # the untraced hot path pays one comparison per slot.
+        bt: dict[str, list] | None = None
         prepared: list[_Prepared | FailedResult] = []
         for circuit in circuits:
+            prepare_started = time.perf_counter() if tracer is not None else 0.0
             try:
                 prepared.append(
                     self._prepare(
@@ -514,8 +586,16 @@ class ExecutionEngine:
                 if not isolate:
                     raise  # historical contract: the original exception type
                 prepared.append(self._failed_prepare(circuit, exc))
+            if bt is None and tracer is not None:
+                bt = _batch_trace(len(circuits))
+            if bt is not None:
+                bt["prepare"][len(prepared) - 1] = time.perf_counter() - prepare_started
+        if bt is None and tracer is not None:
+            bt = _batch_trace(len(circuits))
         if workers > 1 and len(prepared) > 1:
-            return self._execute_many_parallel(prepared, shots, max_trajectories, workers, isolate)
+            return self._execute_many_parallel(
+                prepared, shots, max_trajectories, workers, isolate, bt
+            )
 
         results: list[ExecutionResult | FailedResult | None] = [None] * len(prepared)
         batch_first: dict[tuple, ExecutionResult] = {}
@@ -526,10 +606,14 @@ class ExecutionEngine:
             self.stats.requests += 1
             if isinstance(request, FailedResult):
                 self.stats.isolated_failures += 1
+                if bt is not None:
+                    bt["tiers"][index] = "failed-prepare"
                 results[index] = request
                 continue
             if request.key is None:
                 self.stats.uncacheable += 1
+                if bt is not None:
+                    bt["tiers"][index] = "uncacheable"
                 try:
                     result = self._execute_with_policy(request, shots, max_trajectories)
                 except (KeyboardInterrupt, SystemExit):
@@ -540,25 +624,31 @@ class ExecutionEngine:
                     self.stats.isolated_failures += 1
                     results[index] = self._failed_result(request, exc)
                     continue
-                results[index] = self._deliver(result, request)
+                results[index] = self._deliver_traced(result, request, bt, index)
                 continue
             if request.key in batch_first:
                 self.stats.batch_dedup_hits += 1
-                results[index] = self._deliver(batch_first[request.key], request)
+                if bt is not None:
+                    bt["tiers"][index] = "batch-dedup"
+                results[index] = self._deliver_traced(batch_first[request.key], request, bt, index)
                 continue
             if request.key in batch_failed:
                 self.stats.batch_dedup_hits += 1
                 self.stats.isolated_failures += 1
+                if bt is not None:
+                    bt["tiers"][index] = "batch-dedup"
                 results[index] = dataclasses.replace(
                     batch_failed[request.key], metadata=dict(batch_failed[request.key].metadata)
                 )
                 continue
-            cached = self._cache_get(request.key)
+            cached = self._cache_get_traced(request.key, bt, index)
             if cached is not None:
                 self.stats.cache_hits += 1
-                results[index] = self._deliver(cached, request)
+                results[index] = self._deliver_traced(cached, request, bt, index)
                 continue
             self.stats.cache_misses += 1
+            if bt is not None:
+                bt["tiers"][index] = "executed"
             try:
                 result = self._execute_with_policy(request, shots, max_trajectories)
             except (KeyboardInterrupt, SystemExit):
@@ -580,7 +670,8 @@ class ExecutionEngine:
             # The requester gets its own delivery too — handing out the
             # cache-backing object would let caller mutations poison
             # every later hit on this key.
-            results[index] = self._deliver(result, request)
+            results[index] = self._deliver_traced(result, request, bt, index)
+        self._emit_slot_events(results, prepared, bt)
         # One result per input, in input order — callers zip against their
         # inputs, so a silently shrunk list would misattribute results.
         self._check_delivered(results, prepared)
@@ -603,6 +694,106 @@ class ExecutionEngine:
                 undelivered=undelivered,
                 stage="deliver",
             )
+
+    # ------------------------------------------------------------------
+    # Trace emission
+    # ------------------------------------------------------------------
+
+    def _cache_get_traced(self, key: tuple, bt: dict | None, index: int) -> Any:
+        """Cache lookup that attributes the serving tier to the slot."""
+        if bt is None:
+            return self._cache_get(key)
+        lookup_started = time.perf_counter()
+        persistent_before = self.stats.persistent_hits
+        cached = self._cache_get(key)
+        bt["cache"][index] = time.perf_counter() - lookup_started
+        if cached is not None:
+            bt["tiers"][index] = (
+                "persistent" if self.stats.persistent_hits > persistent_before else "memory"
+            )
+        return cached
+
+    def _deliver_traced(
+        self, source: ExecutionResult, request: _Prepared, bt: dict | None, index: int
+    ) -> ExecutionResult:
+        if bt is None:
+            return self._deliver(source, request)
+        deliver_started = time.perf_counter()
+        delivered = self._deliver(source, request)
+        bt["deliver"][index] = time.perf_counter() - deliver_started
+        return delivered
+
+    def _emit_slot_events(self, results: list, prepared: list, bt: dict | None) -> None:
+        """One "request" event per slot — the trace's per-request ledger.
+
+        Emitted for every slot exactly once, whatever happened to it
+        (served, executed, degraded, isolated, failed in prepare) — the
+        chaos tests pivot on this invariant.
+        """
+        tracer = self.tracer
+        if bt is None or tracer is None:
+            return
+        for slot, (request, result) in enumerate(zip(prepared, results)):
+            attrs: dict[str, Any] = {"slot": slot, "tier": bt["tiers"][slot] or "uncacheable"}
+            for stage in ("prepare", "cache", "deliver"):
+                timing = bt[stage][slot]
+                if timing is not None:
+                    attrs[f"t_{stage}"] = timing
+            if isinstance(request, _Prepared):
+                attrs["fingerprint"] = request.fingerprint
+                attrs["resolved"] = request.method
+                if request.key is not None:
+                    attrs["key"] = repr(request.key)
+            if isinstance(result, FailedResult):
+                attrs["ok"] = False
+                attrs["fingerprint"] = attrs.get("fingerprint") or result.fingerprint
+                attrs["method"] = result.method
+                attrs["stage"] = result.stage
+                attrs["attempts"] = result.attempts
+                if result.error is not None:
+                    attrs.update(fault_annotation(result.error))
+            elif result is not None:
+                attrs["ok"] = True
+                attrs["method"] = result.method
+                degraded_from = result.metadata.get("degraded_from")
+                if degraded_from is not None:
+                    attrs["degraded_from"] = degraded_from
+            tracer.emit("request", attrs)
+
+    def _emit_pool_execute_event(
+        self, task: CompactTask, output: Any, fragment: dict | None
+    ) -> None:
+        """Execute event for one sharder task, stitched from a worker fragment.
+
+        Worker monotonic clocks are incomparable with the parent's, so
+        the fragment contributes only its measured duration and pid; the
+        event's position in the trace comes from the parent's dispatch
+        span.  Faulted tasks carry their annotation instead (recovery
+        attempts emit their own in-process execute events).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        attrs: dict[str, Any] = {
+            "fingerprint": task.fingerprint,
+            "resolved": task.method,
+            "location": "pool",
+        }
+        duration = None
+        if fragment is not None:
+            attrs["worker_pid"] = fragment.get("pid")
+            duration = fragment.get("duration")
+            if fragment.get("in_worker") is False:
+                # The sharder ran this task in the parent (fallback or
+                # serial rung) — same compute function, no pool transit.
+                attrs["location"] = "in-process-fallback"
+        if isinstance(output, ExecutionFault):
+            attrs["status"] = "fault"
+            attrs.update(fault_annotation(output))
+        else:
+            attrs["status"] = "ok"
+            attrs["method"] = getattr(output, "method", None)
+        tracer.emit("execute", attrs, duration)
 
     def _failed_prepare(self, circuit: QuantumCircuit, exc: Exception) -> FailedResult:
         """FailedResult for a circuit that could not be prepared (isolate mode)."""
@@ -674,6 +865,7 @@ class ExecutionEngine:
         max_trajectories: int,
         workers: int,
         isolate: bool,
+        bt: dict | None = None,
     ) -> list[ExecutionResult | FailedResult]:
         """Shard a prepared batch across the process pool.
 
@@ -735,6 +927,8 @@ class ExecutionEngine:
             if isinstance(request, FailedResult):
                 # Prepare already failed this slot (isolate mode only).
                 self.stats.isolated_failures += 1
+                if bt is not None:
+                    bt["tiers"][index] = "failed-prepare"
                 results[index] = request
                 continue
             if request.key is None:
@@ -742,6 +936,8 @@ class ExecutionEngine:
                 # each occurrence is an independent draw (in a worker, from
                 # fresh OS entropy, exactly as in-process).
                 self.stats.uncacheable += 1
+                if bt is not None:
+                    bt["tiers"][index] = "uncacheable"
                 if request.method == "density_matrix":
                     if enqueue_density_matrix(request, ("direct", index)):
                         result, failed = self._guarded(request, shots, max_trajectories, isolate)
@@ -749,21 +945,25 @@ class ExecutionEngine:
                             self.stats.isolated_failures += 1
                             results[index] = failed
                         else:
-                            results[index] = self._deliver(result, request)
+                            results[index] = self._deliver_traced(result, request, bt, index)
                 else:
                     tasks.append(self._task_for(request, shots, max_trajectories))
                     task_refs.append(("direct", index))
                 continue
             if request.key in pending:
                 self.stats.batch_dedup_hits += 1
+                if bt is not None:
+                    bt["tiers"][index] = "batch-dedup"
                 pending[request.key].append(index)
                 continue
-            cached = self._cache_get(request.key)
+            cached = self._cache_get_traced(request.key, bt, index)
             if cached is not None:
                 self.stats.cache_hits += 1
-                results[index] = self._deliver(cached, request)
+                results[index] = self._deliver_traced(cached, request, bt, index)
                 continue
             self.stats.cache_misses += 1
+            if bt is not None:
+                bt["tiers"][index] = "executed"
             if request.method == "density_matrix":
                 if enqueue_density_matrix(request, ("keyed", request.key)):
                     # Later duplicates of this key hit the result cache.
@@ -774,7 +974,7 @@ class ExecutionEngine:
                     else:
                         if "degraded_from" not in result.metadata:
                             self._cache_put(request.key, result)
-                        results[index] = self._deliver(result, request)
+                        results[index] = self._deliver_traced(result, request, bt, index)
                 else:
                     pending[request.key] = [index]
             else:
@@ -791,10 +991,22 @@ class ExecutionEngine:
             directives = [
                 self._fault_injector.take_directive(task.fingerprint) for task in tasks
             ]
+        tracer = self.tracer
+        dispatch_started = time.perf_counter() if tracer is not None else 0.0
         outputs = sharder.run(tasks, directives=directives, isolate=True)
         self.stats.parallel_executed += sharder.last_dispatched
         self.stats.pool_respawns += sharder.last_respawns
         self.stats.fallback_reason = sharder.fallback_reason
+        if tracer is not None and tasks:
+            tracer.event(
+                "dispatch",
+                duration=time.perf_counter() - dispatch_started,
+                tasks=len(tasks),
+                workers=workers,
+                dispatched=sharder.last_dispatched,
+                respawns=sharder.last_respawns,
+                fallback=sharder.fallback_reason,
+            )
 
         def finish_density_matrix(request: _Prepared, pre_readout: ExecutionResult) -> ExecutionResult:
             # Same arithmetic as the serial readout-factored path: exact
@@ -823,7 +1035,15 @@ class ExecutionEngine:
                 self.stats.isolated_failures += 1
                 results[index] = dataclasses.replace(failed, metadata=dict(failed.metadata))
 
-        for (kind, ref), output in zip(task_refs, outputs):
+        for task_index, ((kind, ref), output) in enumerate(zip(task_refs, outputs)):
+            # Pool-boundary trace stitching: pop the worker's span fragment
+            # before the result can reach the cache (a persisted entry must
+            # not carry one run's trace residue into every later hit).
+            fragment = None
+            if isinstance(output, ExecutionResult):
+                fragment = output.metadata.pop("trace_fragment", None)
+            if tracer is not None:
+                self._emit_pool_execute_event(tasks[task_index], output, fragment)
             if kind == "direct":
                 request = prepared[ref]
                 if isinstance(output, ExecutionFault):
@@ -834,12 +1054,12 @@ class ExecutionEngine:
                         self.stats.isolated_failures += 1
                         results[ref] = failed
                     else:
-                        results[ref] = self._deliver(result, request)
+                        results[ref] = self._deliver_traced(result, request, bt, ref)
                     continue
                 self.stats.executed += 1
                 if request.method == "stabilizer":
                     self.stats.stabilizer_executed += 1
-                results[ref] = self._deliver(output, request)
+                results[ref] = self._deliver_traced(output, request, bt, ref)
             elif kind == "keyed":
                 request = prepared[pending[ref][0]]
                 if isinstance(output, ExecutionFault):
@@ -852,14 +1072,14 @@ class ExecutionEngine:
                         if "degraded_from" not in result.metadata:
                             self._cache_put(ref, result)
                         for index in pending[ref]:
-                            results[index] = self._deliver(result, prepared[index])
+                            results[index] = self._deliver_traced(result, prepared[index], bt, index)
                     continue
                 self.stats.executed += 1
                 if request.method == "stabilizer":
                     self.stats.stabilizer_executed += 1
                 self._cache_put(ref, output)
                 for index in pending[ref]:
-                    results[index] = self._deliver(output, prepared[index])
+                    results[index] = self._deliver_traced(output, prepared[index], bt, index)
             else:  # dm-state: populate the state cache, then finish consumers
                 if isinstance(output, ExecutionFault):
                     # Recover in-parent: the first consumer re-runs the
@@ -878,7 +1098,9 @@ class ExecutionEngine:
                                 self.stats.isolated_failures += 1
                                 results[consumer_ref] = failed
                             else:
-                                results[consumer_ref] = self._deliver(result, request)
+                                results[consumer_ref] = self._deliver_traced(
+                                    result, request, bt, consumer_ref
+                                )
                         else:
                             request = prepared[pending[consumer_ref][0]]
                             result, failed = self._guarded(
@@ -891,27 +1113,33 @@ class ExecutionEngine:
                                 if "degraded_from" not in result.metadata:
                                     self._cache_put(consumer_ref, result)
                                 for index in pending[consumer_ref]:
-                                    results[index] = self._deliver(result, prepared[index])
+                                    results[index] = self._deliver_traced(
+                                        result, prepared[index], bt, index
+                                    )
                     continue
                 self._cache_put(ref, (output.distribution, list(output.measured_qubits)))
                 for consumer_kind, consumer_ref in dm_consumers[ref]:
                     if consumer_kind == "direct":
                         request = prepared[consumer_ref]
-                        results[consumer_ref] = self._deliver(
-                            finish_density_matrix(request, output), request
+                        results[consumer_ref] = self._deliver_traced(
+                            finish_density_matrix(request, output), request, bt, consumer_ref
                         )
                     else:
                         request = prepared[pending[consumer_ref][0]]
                         result = finish_density_matrix(request, output)
                         self._cache_put(consumer_ref, result)
                         for index in pending[consumer_ref]:
-                            results[index] = self._deliver(result, prepared[index])
+                            results[index] = self._deliver_traced(
+                                result, prepared[index], bt, index
+                            )
+        self._emit_slot_events(results, prepared, bt)
         self._check_delivered(results, prepared)
         return results  # type: ignore[return-value]
 
     def _task_for(
         self, request: _Prepared, shots: int | None, max_trajectories: int
     ) -> CompactTask:
+        tracer = self.tracer
         return CompactTask(
             circuit=request.compact,
             noise=request.noise,
@@ -922,6 +1150,7 @@ class ExecutionEngine:
             fusion=request.fusion,
             fusion_max_qubits=self.fusion_max_qubits,
             fingerprint=request.fingerprint,
+            trace_id=tracer.current_trace_id if tracer is not None else None,
         )
 
     def _get_sharder(self, workers: int) -> ParallelSharder:
@@ -942,6 +1171,8 @@ class ExecutionEngine:
         if self._sharder is not None:
             self._sharder.shutdown()
             self._sharder = None
+        if self.tracer is not None:
+            self.tracer.flush()  # publish any deferred trace artifact
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -974,12 +1205,24 @@ class ExecutionEngine:
         overhead accounting) use this to read post-transpile gate counts
         without paying for a second compilation.
         """
+        tracer = self.tracer
         hits_before = self._compilation.hits
+        compile_started = time.perf_counter() if tracer is not None else 0.0
         compiled = self._compilation.get_or_compile(circuit, device)
-        if self._compilation.hits > hits_before:
+        hit = self._compilation.hits > hits_before
+        if hit:
             self.stats.compile_hits += 1
         else:
             self.stats.compile_misses += 1
+        if tracer is not None:
+            lookup = self._compilation.last_lookup
+            tracer.event(
+                "compile",
+                duration=time.perf_counter() - compile_started,
+                fingerprint=lookup[0] if lookup else None,
+                tier=lookup[1] if lookup else None,
+                hit=hit,
+            )
         return compiled
 
     @property
@@ -1127,6 +1370,62 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
 
     def _execute_with_policy(
+        self,
+        request: _Prepared,
+        shots: int | None,
+        max_trajectories: int,
+        first_fault: ExecutionFault | None = None,
+    ) -> ExecutionResult:
+        """Traced front of :meth:`_execute_with_policy_impl`.
+
+        Emits one "execute" event per recovery-loop invocation: measured
+        duration, retry/degradation deltas, dm-state attribution and —
+        on the raise path — the fault annotation.  ``first_fault`` marks
+        a recovery of work that already failed in a pool worker.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            return self._execute_with_policy_impl(request, shots, max_trajectories, first_fault)
+        stats = self.stats
+        retries_before = stats.retries
+        degraded_before = stats.degraded_backend
+        dm_hits_before = stats.state_cache_hits
+        started = time.perf_counter()
+        attrs: dict[str, Any] = {
+            "fingerprint": request.fingerprint,
+            "resolved": request.method,
+            "location": "in-process" if first_fault is None else "pool-recovery",
+        }
+        try:
+            result = self._execute_with_policy_impl(request, shots, max_trajectories, first_fault)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            tracer.event(
+                "execute",
+                duration=time.perf_counter() - started,
+                status="failed",
+                retries=stats.retries - retries_before,
+                degraded=stats.degraded_backend - degraded_before,
+                **attrs,
+                **fault_annotation(exc),
+            )
+            raise
+        degraded_from = result.metadata.get("degraded_from")
+        tracer.event(
+            "execute",
+            duration=time.perf_counter() - started,
+            status="ok",
+            method=result.method,
+            retries=stats.retries - retries_before,
+            degraded=stats.degraded_backend - degraded_before,
+            dm_state_hit=stats.state_cache_hits > dm_hits_before,
+            **({"degraded_from": degraded_from} if degraded_from is not None else {}),
+            **attrs,
+        )
+        return result
+
+    def _execute_with_policy_impl(
         self,
         request: _Prepared,
         shots: int | None,
@@ -1369,6 +1668,18 @@ class ExecutionEngine:
         return result
 
     def _cache_put(self, key: tuple, result: Any, persist: bool = True) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.active and persist:
+            # Provenance for replay: the key's repr (literal-evaluable back
+            # into the tuple) plus a digest of the stored payload, so a
+            # later `repro.tracing replay` can verify the persistent cache
+            # still serves bit-identical bytes for this trace.
+            tracer.event(
+                "cache-put",
+                key=repr(key),
+                digest=result_digest(result),
+                dm_state=bool(key) and key[0] == "dm-state",
+            )
         if persist and self._persistent is not None:
             self._persistent.put(key, result)
         if self.cache_size == 0:
@@ -1377,6 +1688,16 @@ class ExecutionEngine:
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
+
+
+def _batch_trace(num_slots: int) -> dict[str, list]:
+    """Per-slot trace bookkeeping arrays for one execute_many batch."""
+    return {
+        "prepare": [None] * num_slots,
+        "cache": [None] * num_slots,
+        "deliver": [None] * num_slots,
+        "tiers": [None] * num_slots,
+    }
 
 
 def _derive_seed(seed: int | None, fingerprint: str) -> int | None:

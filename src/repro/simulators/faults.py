@@ -74,6 +74,7 @@ __all__ = [
     "RetryPolicy",
     "FaultInjector",
     "apply_injected_directive",
+    "fault_annotation",
     "fault_from_marker",
     "TaskFailureMarker",
 ]
@@ -302,6 +303,27 @@ def fault_from_marker(marker: TaskFailureMarker) -> ExecutionFault:
         method=marker.method,
         stage=marker.stage or "simulate",
     )
+
+
+def fault_annotation(exc: BaseException) -> dict:
+    """Flat, JSON-safe trace attributes describing a fault.
+
+    The tracing layer stamps these onto execute/request events so a trace
+    names the taxonomy class, pipeline stage and attempt count of every
+    failure without pickling exception objects into the artifact.  Works
+    for bare exceptions too (only ``error`` is populated then).
+    """
+    annotation: dict = {"error": type(exc).__name__}
+    stage = getattr(exc, "stage", None)
+    if stage is not None:
+        annotation["error_stage"] = stage
+    attempts = getattr(exc, "attempts", None)
+    if attempts is not None:
+        annotation["attempts"] = attempts
+    method = getattr(exc, "method", None)
+    if method is not None:
+        annotation["error_method"] = method
+    return annotation
 
 
 def marker_from_exception(

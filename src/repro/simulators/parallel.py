@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import os
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
@@ -142,6 +143,12 @@ class CompactTask:
     fusion: bool
     fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS
     fingerprint: str | None = None
+    # Trace propagation across the pool boundary: when the dispatching
+    # engine has an open trace, its ID rides along and the execution site
+    # attaches a span fragment (pid, measured duration) to the result's
+    # metadata — the parent pops the fragment and stitches it into the
+    # batch's trace tree.  ``None`` (tracing disabled) adds no work.
+    trace_id: str | None = None
 
 
 def run_compact_task(task: CompactTask) -> ExecutionResult:
@@ -228,6 +235,28 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
     raise ValueError(f"unresolved method {task.method!r}")
 
 
+def _traced_run(task: CompactTask, in_worker: bool) -> ExecutionResult:
+    """Run one task, attaching a trace span fragment when the task asks.
+
+    Monotonic clocks are per-process, so the fragment carries only the
+    *duration* (comparable across processes) plus the executing ``pid``;
+    the parent's dispatch event anchors it in the trace timeline.  Kept
+    out of :func:`run_compact_task` so the pure compute function stays
+    byte-identical with and without tracing.
+    """
+    if task.trace_id is None:
+        return run_compact_task(task)
+    started = time.perf_counter()
+    result = run_compact_task(task)
+    result.metadata["trace_fragment"] = {
+        "trace_id": task.trace_id,
+        "pid": os.getpid(),
+        "duration": time.perf_counter() - started,
+        "in_worker": in_worker,
+    }
+    return result
+
+
 def _run_task_chunk(pairs: list) -> list:
     """Worker entry point: run ``[(task, directive), ...]``, isolating failures.
 
@@ -246,7 +275,7 @@ def _run_task_chunk(pairs: list) -> list:
                 method=task.method,
                 in_worker=True,
             )
-            outcomes.append(run_compact_task(task))
+            outcomes.append(_traced_run(task, in_worker=True))
         except BaseException as exc:  # noqa: BLE001 - flattened for the parent
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
@@ -262,7 +291,7 @@ def _run_pair_inprocess(task: CompactTask, directive) -> ExecutionResult | Execu
         apply_injected_directive(
             directive, fingerprint=task.fingerprint, method=task.method, in_worker=False
         )
-        return run_compact_task(task)
+        return _traced_run(task, in_worker=False)
     except ExecutionFault as fault:
         return fault
     except Exception as exc:

@@ -1,0 +1,112 @@
+"""Versioned JSONL persistence for traces.
+
+One trace = one file, ``trace-<trace_id>.jsonl``: a header line naming
+the format and schema version, then one JSON object per
+:class:`~repro.tracing.events.TraceEvent`.  Files are published
+atomically (temp file + ``os.replace``) so readers — including a
+concurrent CLI ``summarize`` — never observe a torn trace, mirroring the
+result cache's publish discipline.  Typically the store lives next to
+the persistent result cache (``<cache_dir>/../traces`` or any directory
+the caller picks); traces and the cached results they reference then
+travel together as one provenance bundle.
+
+Writes never raise: a full disk or read-only tree increments
+:attr:`TraceStore.write_errors` and the traced run continues with the
+in-memory copy.  Loads are strict — a missing or alien header is a
+``ValueError``, because a trace that cannot be attributed to a schema
+version cannot be diffed safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from .events import TRACE_FORMAT, TRACE_FORMAT_VERSION, TraceEvent
+
+__all__ = ["TraceStore", "load_trace"]
+
+
+class TraceStore:
+    """Directory of JSONL trace artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.write_errors = 0
+
+    def path_for(self, trace_id: str) -> str:
+        return os.path.join(self.root, f"trace-{trace_id}.jsonl")
+
+    def write(self, trace_id: str, events: list[TraceEvent]) -> str | None:
+        """Persist one finished trace; returns its path (None on failure)."""
+        header = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_FORMAT_VERSION,
+            "trace_id": trace_id,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "events": len(events),
+        }
+        # Compact separators and insertion-ordered keys: the flush runs at
+        # batch close inside the traced call, so encode speed is part of
+        # the tracing-overhead budget the benchmark gates.  Loaders parse
+        # JSON, never byte-compare, so key order is free to vary.
+        dumps = json.dumps
+        lines = [dumps(header, separators=(",", ":"))]
+        lines.extend(dumps(event.to_dict(), separators=(",", ":")) for event in events)
+        payload = "\n".join(lines) + "\n"
+        path = self.path_for(trace_id)
+        try:
+            fd, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.write_errors += 1
+            return None
+        return path
+
+    def list(self) -> list[str]:
+        """Trace file paths, oldest first (by mtime, then name)."""
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith("trace-") and name.endswith(".jsonl")):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, name, path))
+        return [path for _, _, path in sorted(entries)]
+
+
+def load_trace(path: str) -> tuple[dict, list[TraceEvent]]:
+    """Load ``(header, events)`` from a persisted trace; strict on format."""
+    with open(path, "r") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path}: not a {TRACE_FORMAT} file")
+    if header.get("version") != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace version {header.get('version')!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    events = [TraceEvent.from_dict(json.loads(line)) for line in lines[1:]]
+    return header, events

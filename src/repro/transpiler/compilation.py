@@ -89,6 +89,13 @@ class CompilationCache:
         self.hits = 0
         self.misses = 0
         self.persistent_hits = 0
+        # (circuit fingerprint, serving tier) of the most recent
+        # get_or_compile: "memory" | "persistent" | "compiled".  Read by
+        # the engine's tracing layer for compile-event attribution; kept
+        # off CompiledCircuit itself so persisted artifacts keep their
+        # layout (a dataclass-shape change would quarantine every cached
+        # entry written by earlier versions).
+        self.last_lookup: tuple[str, str] | None = None
         self._cache: OrderedDict[tuple, CompiledCircuit] = OrderedDict()
 
     def key_for(self, circuit: QuantumCircuit, device) -> tuple:
@@ -116,6 +123,7 @@ class CompilationCache:
         if cached is not None:
             self._cache.move_to_end(key)
             self.hits += 1
+            self.last_lookup = (key[1], "memory")
             return cached
         if self.persistent is not None:
             stored = self.persistent.get(key)
@@ -123,8 +131,10 @@ class CompilationCache:
                 self.hits += 1
                 self.persistent_hits += 1
                 self._remember(key, stored)
+                self.last_lookup = (key[1], "persistent")
                 return stored
         self.misses += 1
+        self.last_lookup = (key[1], "compiled")
         result = transpile(measured, device=device, seed=self.seed)
         compiled = CompiledCircuit.from_transpile_result(
             result,

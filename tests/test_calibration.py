@@ -353,6 +353,36 @@ class TestRunnerEndToEnd:
         with pytest.raises(ValueError):
             CalibrationRunner(device, shots=0)
 
+    def test_duration_is_monotonic_and_non_negative(self):
+        # Regression: duration_seconds used to come from time.time(),
+        # which an NTP step can run backwards; it is now perf_counter
+        # based and can never go negative.
+        device = tiny_device()
+        record = CalibrationRunner(
+            device, shots=128, seed=3, rb_lengths=(2,), rb_samples=1,
+            pauli_depths=(1,), pauli_samples=1, pauli_strings=("ZZ",),
+        ).run()
+        assert record.metadata["duration_seconds"] >= 0.0
+
+    def test_record_links_its_execution_trace(self, tmp_path):
+        # A traced engine stamps the calibration batch's trace ID into the
+        # record, tying provenance to the persisted JSONL artifact.
+        device = tiny_device()
+        engine = ExecutionEngine(trace_dir=str(tmp_path / "traces"))
+        record = CalibrationRunner(
+            device, shots=128, seed=3, rb_lengths=(2,), rb_samples=1,
+            pauli_depths=(1,), pauli_samples=1, pauli_strings=("ZZ",),
+            engine=engine,
+        ).run()
+        assert record.metadata["trace_id"] == engine.tracer.last_trace_id
+        assert engine.tracer.last_trace_path is not None
+        # An untraced engine leaves no dangling key behind.
+        untraced = CalibrationRunner(
+            device, shots=128, seed=3, rb_lengths=(2,), rb_samples=1,
+            pauli_depths=(1,), pauli_samples=1, pauli_strings=("ZZ",),
+        ).run()
+        assert "trace_id" not in untraced.metadata
+
 
 # ---------------------------------------------------------------------------
 # Wiring: learned models anywhere a NoiseModel is accepted

@@ -27,6 +27,14 @@ def noisy_model() -> NoiseModel:
     return NoiseModel.depolarizing(p1=0.01, p2=0.05, readout=0.03)
 
 
+def _field_default(field):
+    import dataclasses
+
+    if field.default is not dataclasses.MISSING:
+        return field.default
+    return field.default_factory()
+
+
 class TestFingerprints:
     def test_identical_structure_same_fingerprint(self):
         assert circuit_fingerprint(ghz()) == circuit_fingerprint(ghz())
@@ -119,6 +127,24 @@ class TestCacheAccounting:
         assert engine.cache_len == 2
         engine.execute(circuits[0], noisy_model())  # evicted -> miss
         assert engine.stats.cache_misses == 4
+
+    def test_stats_reset_restores_every_field_default(self):
+        # Regression: reset() used to hand-list fields, so a counter added
+        # to EngineStats could silently survive a reset.  It is now driven
+        # by dataclasses.fields, pinned here over every current field.
+        import dataclasses
+
+        engine = ExecutionEngine()
+        engine.execute(ghz(), noisy_model(), shots=100, seed=3)
+        engine.execute(ghz(), noisy_model(), shots=100, seed=3)
+        stats = engine.stats
+        assert any(
+            getattr(stats, field.name) != _field_default(field)
+            for field in dataclasses.fields(stats)
+        )
+        stats.reset()
+        for field in dataclasses.fields(stats):
+            assert getattr(stats, field.name) == _field_default(field), field.name
 
 
 class TestBatchDeduplication:

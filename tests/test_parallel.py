@@ -328,6 +328,24 @@ class TestPersistentCache:
         assert cache.total_bytes() <= 4096
         assert cache.evictions > 0
 
+    def test_overwrite_does_not_inflate_size_accounting(self, tmp_path):
+        # Regression: put() added the new payload's size without
+        # subtracting the replaced entry's, so rewriting one hot key
+        # inflated _approx_bytes until spurious evictions kicked in.
+        cache = PersistentResultCache(tmp_path, max_bytes=64 * 1024)
+        for _ in range(50):
+            cache.put(("hot",), "x" * 1024)
+        assert len(cache) == 1
+        assert cache._approx_bytes == cache.total_bytes()
+        assert cache.evictions == 0
+
+    def test_overwrite_accounting_tracks_shrinking_payloads(self, tmp_path):
+        cache = PersistentResultCache(tmp_path, max_bytes=64 * 1024)
+        cache.put(("k",), "x" * 4096)
+        cache.put(("k",), "x")  # replacement smaller than the original
+        assert cache._approx_bytes == cache.total_bytes()
+        assert cache._approx_bytes < 4096
+
     def test_write_failure_is_swallowed(self, tmp_path, monkeypatch):
         # An unusable cache directory must cost recomputation, never an
         # exception out of a successful simulation.

@@ -1,0 +1,504 @@
+"""Tests for the execution tracing & provenance layer.
+
+Invariants pinned here:
+
+*slot ledger*: every slot of every traced batch appears in the trace as
+exactly one ``request`` event — served, executed, degraded, isolated or
+failed-in-prepare, under any fault schedule (the chaos tests below drive
+poison / transient-fail / kill / degrade schedules through both the
+serial loop and the pool).
+
+*attribution*: cache tiers (batch-dedup / memory / persistent), resolved
+backend methods, retry and degradation counts, and pool worker pids all
+land on trace events and agree with the engine's own counters.
+
+*round-trip*: persisted JSONL traces reload bit-identically (dataclass
+equality against the in-memory events), and worker trace fragments never
+leak into cached results.
+
+The CLI (``python -m repro.tracing``) is exercised in-process through
+``repro.tracing.cli.main``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.mitigation import build_subset_circuit
+from repro.noise import NoiseModel
+from repro.simulators import (
+    ExecutionEngine,
+    FailedResult,
+    FaultInjector,
+    PersistentResultCache,
+    RetryPolicy,
+)
+from repro.tracing import (
+    TRACE_FORMAT,
+    TRACE_FORMAT_VERSION,
+    TraceRecorder,
+    TraceStore,
+    load_trace,
+    maybe_span,
+    result_digest,
+)
+from repro.tracing.cli import main as cli_main
+from test_parallel import requires_pool
+
+NOISE = NoiseModel.depolarizing(p1=0.005, p2=0.02, readout=0.02)
+FAST_RETRY = RetryPolicy(base_delay=0.0, jitter=0.0)
+
+
+def _subset_workload(num_qubits: int = 6, repeats: int = 3) -> list[QuantumCircuit]:
+    base = QuantumCircuit(num_qubits, num_qubits)
+    for q in range(num_qubits):
+        base.h(q)
+    for q in range(num_qubits - 1):
+        base.cx(q, q + 1)
+    for q in range(num_qubits):
+        base.rz(0.1 * (q + 1), q)
+    base.measure_all()
+    subsets = [[0, 1], [2, 3], [4, 5]]
+    unique = [build_subset_circuit(base, subset) for subset in subsets]
+    return [circuit for circuit in unique for _ in range(repeats)]
+
+
+def _traced_batch(
+    trace_dir, circuits, *, injector=None, workers=None, on_error="isolate", **engine_kwargs
+):
+    """One batch through a fresh traced engine; returns (results, events, path)."""
+    engine_kwargs.setdefault("retry_policy", FAST_RETRY)
+    with ExecutionEngine(trace_dir=str(trace_dir), workers=workers, **engine_kwargs) as engine:
+        if injector is not None:
+            engine.install_fault_injector(injector)
+        results = engine.execute_many(circuits, NOISE, shots=64, seed=11, on_error=on_error)
+        return results, engine.tracer.trace_events(), engine.tracer.last_trace_path
+
+
+def _requests(events):
+    requests = [e for e in events if e.kind == "event" and e.name == "request"]
+    requests.sort(key=lambda event: event.attrs["slot"])
+    return requests
+
+
+def _assert_slot_ledger(events, results):
+    """Every slot exactly once, with ok/fault attribution matching results."""
+    requests = _requests(events)
+    assert [r.attrs["slot"] for r in requests] == list(range(len(results)))
+    for request, result in zip(requests, results):
+        if isinstance(result, FailedResult):
+            assert request.attrs["ok"] is False
+            assert request.attrs["error"]  # fault annotation present
+            assert request.attrs["attempts"] >= 1
+        else:
+            assert request.attrs["ok"] is True
+            assert request.attrs["method"] == result.method
+
+
+class TestRecorder:
+    def test_span_nesting_and_root_flush(self):
+        recorder = TraceRecorder()
+        with recorder.span("root", batch=1):
+            assert recorder.active
+            assert recorder.current_trace_id is not None
+            with recorder.span("child"):
+                recorder.event("leaf", duration=0.25, detail="x")
+        assert not recorder.active
+        assert recorder.current_trace_id is None
+        events = recorder.trace_events()
+        by_name = {event.name: event for event in events}
+        root, child, leaf = by_name["root"], by_name["child"], by_name["leaf"]
+        assert root.parent_id is None and root.kind == "span"
+        assert child.parent_id == root.span_id
+        assert leaf.parent_id == child.span_id and leaf.kind == "event"
+        assert leaf.duration == 0.25
+        assert {event.trace_id for event in events} == {recorder.last_trace_id}
+
+    def test_event_outside_any_trace_is_noop(self):
+        recorder = TraceRecorder()
+        recorder.event("orphan", value=1)
+        assert recorder.traces == []
+        assert recorder.last_trace_id is None
+
+    def test_exception_closes_trace_with_status(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("root"):
+                raise ValueError("boom")
+        assert not recorder.active  # trace finished despite the abort
+        [root] = recorder.trace_events()
+        assert root.attrs["status"] == "raised"
+        assert root.attrs["error"] == "ValueError"
+
+    def test_end_span_pops_abandoned_children(self):
+        recorder = TraceRecorder()
+        root = recorder.start_span("root")
+        recorder.start_span("abandoned")
+        recorder.end_span(root)
+        assert not recorder.active
+        assert {e.name for e in recorder.trace_events()} == {"root"}
+
+    def test_ring_is_bounded(self):
+        recorder = TraceRecorder(keep=2)
+        for index in range(4):
+            with recorder.span(f"t{index}"):
+                pass
+        assert len(recorder.traces) == 2
+        assert recorder.trace_events()[0].name == "t3"
+
+    def test_maybe_span_without_tracer_is_noop(self):
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+
+class TestStorage:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        recorder = TraceRecorder(store=TraceStore(str(tmp_path)))
+        with recorder.span("root", shots=64):
+            recorder.event("request", duration=0.0012345678901234, slot=0, tier="memory")
+            recorder.event("execute", duration=None, status="ok")
+        header, loaded = load_trace(recorder.last_trace_path)
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_FORMAT_VERSION
+        assert header["trace_id"] == recorder.last_trace_id
+        assert loaded == recorder.trace_events()  # dataclass equality: bit-identical
+
+    def test_load_rejects_alien_and_versioned_files(self, tmp_path):
+        empty = tmp_path / "trace-empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(str(empty))
+        alien = tmp_path / "trace-alien.jsonl"
+        alien.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError, match="not a"):
+            load_trace(str(alien))
+        future = tmp_path / "trace-future.jsonl"
+        future.write_text(
+            json.dumps({"format": TRACE_FORMAT, "version": TRACE_FORMAT_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(ValueError, match="unsupported"):
+            load_trace(str(future))
+
+    def test_write_failure_is_counted_not_raised(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.root = str(tmp_path / "vanished" / "deeper")  # mkstemp will fail
+        recorder = TraceRecorder(store=store)
+        with recorder.span("root"):
+            pass  # the traced work itself must not raise
+        # The flush is deferred; path access forces it and must not raise.
+        assert recorder.last_trace_path is None
+        assert store.write_errors == 1
+        assert recorder.trace_events()  # in-memory copy survives
+
+    def test_list_orders_oldest_first(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        first = store.write("aaa", [])
+        second = store.write("bbb", [])
+        os.utime(second, (2_000_000_000, 2_000_000_000))
+        assert store.list() == [first, second]
+
+
+class TestEngineTraces:
+    def test_serial_slot_ledger_and_tiers(self, tmp_path):
+        circuits = _subset_workload()
+        results, events, path = _traced_batch(tmp_path / "traces", circuits)
+        assert all(result.ok for result in results)
+        _assert_slot_ledger(events, results)
+        tiers = [request.attrs["tier"] for request in _requests(events)]
+        assert tiers.count("executed") == 3  # one per unique circuit
+        assert tiers.count("batch-dedup") == 6  # duplicates share the execution
+        # Stage timings land on the slots that passed through each stage.
+        for request in _requests(events):
+            assert request.attrs["t_prepare"] >= 0.0
+            assert request.attrs["t_deliver"] >= 0.0
+        # The artifact on disk equals the in-memory trace bit-for-bit.
+        _, loaded = load_trace(path)
+        assert loaded == events
+
+    def test_memory_and_persistent_tier_attribution(self, tmp_path):
+        circuits = _subset_workload(repeats=1)
+        cache_dir = str(tmp_path / "cache")
+        trace_dir = str(tmp_path / "traces")
+        with ExecutionEngine(cache_dir=cache_dir, trace_dir=trace_dir) as engine:
+            engine.execute_many(circuits, NOISE, shots=64, seed=11)
+            engine.execute_many(circuits, NOISE, shots=64, seed=11)
+            second = engine.tracer.trace_events()
+        assert {r.attrs["tier"] for r in _requests(second)} == {"memory"}
+        # A fresh engine sharing only the on-disk cache attributes the
+        # persistent tier.
+        with ExecutionEngine(cache_dir=cache_dir, trace_dir=trace_dir) as engine:
+            engine.execute_many(circuits, NOISE, shots=64, seed=11)
+            third = engine.tracer.trace_events()
+        assert {r.attrs["tier"] for r in _requests(third)} == {"persistent"}
+
+    def test_execute_events_attribute_method_and_location(self, tmp_path):
+        circuits = _subset_workload(repeats=1)
+        _, events, _ = _traced_batch(tmp_path / "traces", circuits)
+        executes = [e for e in events if e.name == "execute"]
+        assert len(executes) == len(circuits)
+        for event in executes:
+            assert event.attrs["status"] == "ok"
+            assert event.attrs["location"] == "in-process"
+            assert event.attrs["retries"] == 0
+            assert event.duration is not None and event.duration >= 0.0
+
+    def test_cache_put_provenance_digests_stored_payloads(self, tmp_path):
+        circuits = _subset_workload(repeats=1)
+        cache_dir = str(tmp_path / "cache")
+        with ExecutionEngine(cache_dir=cache_dir, trace_dir=str(tmp_path / "traces")) as engine:
+            engine.execute_many(circuits, NOISE, shots=64, seed=11)
+            events = engine.tracer.trace_events()
+        puts = [e for e in events if e.name == "cache-put"]
+        assert puts
+        cache = PersistentResultCache(cache_dir)
+        for event in puts:
+            import ast
+
+            payload = cache.get(ast.literal_eval(event.attrs["key"]))
+            assert payload is not None
+            assert result_digest(payload) == event.attrs["digest"]
+
+    def test_tracing_disabled_emits_nothing(self):
+        with ExecutionEngine() as engine:
+            results = engine.execute_many(_subset_workload(repeats=1), NOISE, shots=64, seed=11)
+            assert all(result.ok for result in results)
+            assert engine.tracer is None
+
+    @requires_pool
+    def test_pool_trace_stitches_worker_fragments(self, tmp_path):
+        circuits = _subset_workload()
+        results, events, _ = _traced_batch(tmp_path / "traces", circuits, workers=2)
+        assert all(result.ok for result in results)
+        _assert_slot_ledger(events, results)
+        [dispatch] = [e for e in events if e.name == "dispatch"]
+        assert dispatch.attrs["tasks"] == 3
+        executes = [e for e in events if e.name == "execute"]
+        pool_executes = [e for e in executes if e.attrs["location"] == "pool"]
+        if dispatch.attrs["fallback"] is None:  # pool actually ran
+            assert pool_executes
+            for event in pool_executes:
+                assert event.attrs["worker_pid"] != os.getpid()
+                assert event.duration is not None
+
+    @requires_pool
+    def test_worker_fragments_never_reach_the_cache(self, tmp_path):
+        import ast
+
+        circuits = _subset_workload()
+        cache_dir = str(tmp_path / "cache")
+        with ExecutionEngine(
+            cache_dir=cache_dir, trace_dir=str(tmp_path / "traces"), workers=2
+        ) as engine:
+            results = engine.execute_many(circuits, NOISE, shots=64, seed=11)
+            assert all(result.ok for result in results)
+            events = engine.tracer.trace_events()
+        for result in results:
+            assert "trace_fragment" not in result.metadata
+        cache = PersistentResultCache(cache_dir)
+        puts = [e for e in events if e.name == "cache-put"]
+        assert puts
+        for event in puts:
+            payload = cache.get(ast.literal_eval(event.attrs["key"]))
+            assert payload is not None
+            metadata = getattr(payload, "metadata", None)
+            assert not metadata or "trace_fragment" not in metadata
+
+
+class TestChaosTraceIntegrity:
+    """Satellite: trace integrity under active fault schedules."""
+
+    def test_poison_slots_traced_once_with_fault_annotation(self, tmp_path):
+        circuits = _subset_workload()
+        results, events, path = _traced_batch(
+            tmp_path / "traces", circuits, injector=FaultInjector(poison_tasks={0})
+        )
+        _assert_slot_ledger(events, results)
+        failed = [r for r in _requests(events) if r.attrs["ok"] is False]
+        assert len(failed) == 3  # the poisoned circuit and its dedup twins
+        for request in failed:
+            assert request.attrs["error"] == "SimulationError"
+        # Chaos traces round-trip bit-identically too.
+        _, loaded = load_trace(path)
+        assert loaded == events
+
+    def test_transient_fault_attributes_retries(self, tmp_path):
+        circuits = _subset_workload()
+        results, events, _ = _traced_batch(
+            tmp_path / "traces", circuits, injector=FaultInjector(fail_tasks={0})
+        )
+        assert all(result.ok for result in results)
+        _assert_slot_ledger(events, results)
+        retried = [e for e in events if e.name == "execute" and e.attrs["retries"] > 0]
+        assert len(retried) == 1
+        assert retried[0].attrs["retries"] == 1
+
+    def test_degradation_attributes_ladder_rung(self, tmp_path):
+        circuit = QuantumCircuit(4, 4)
+        for q in range(4):
+            circuit.h(q)
+        circuit.cx(0, 1).cx(2, 3)
+        circuit.measure_all()
+        noise = NoiseModel.depolarizing(p1=0.001, p2=0.008, readout=0.02)
+        with ExecutionEngine(
+            trace_dir=str(tmp_path / "traces"), retry_policy=FAST_RETRY
+        ) as engine:
+            engine.install_fault_injector(FaultInjector(degrade_tasks={0}))
+            [result] = engine.execute_many(
+                [circuit], noise, shots=256, seed=7, method="stabilizer"
+            )
+            events = engine.tracer.trace_events()
+        assert result.metadata["degraded_from"] == "stabilizer"
+        [request] = _requests(events)
+        assert request.attrs["degraded_from"] == "stabilizer"
+        assert request.attrs["method"] == "trajectory"
+        [execute] = [e for e in events if e.name == "execute"]
+        assert execute.attrs["degraded"] == 1
+        assert execute.attrs["degraded_from"] == "stabilizer"
+
+    def test_terminal_fault_still_persists_the_trace(self, tmp_path):
+        from repro.simulators import ExecutionFault
+
+        circuits = _subset_workload(repeats=1)
+        with ExecutionEngine(
+            trace_dir=str(tmp_path / "traces"), retry_policy=FAST_RETRY
+        ) as engine:
+            engine.install_fault_injector(FaultInjector(poison_tasks={0}))
+            with pytest.raises(ExecutionFault):
+                engine.execute_many(circuits, NOISE, shots=64, seed=11, on_error="raise")
+            events = engine.tracer.trace_events()
+            path = engine.tracer.last_trace_path
+        [root] = [e for e in events if e.parent_id is None]
+        assert root.attrs["status"] == "raised"
+        _, loaded = load_trace(path)
+        assert loaded == events
+
+    @requires_pool
+    def test_pool_kill_trace_integrity(self, tmp_path):
+        circuits = _subset_workload()
+        results, events, path = _traced_batch(
+            tmp_path / "traces", circuits, workers=2, injector=FaultInjector(kill_tasks={0})
+        )
+        assert all(result.ok for result in results)  # recovered transparently
+        _assert_slot_ledger(events, results)
+        [dispatch] = [e for e in events if e.name == "dispatch"]
+        if dispatch.attrs["fallback"] is None:
+            # The sharder heals a killed worker internally (respawn +
+            # re-dispatch), so the fault surfaces on the dispatch event's
+            # respawn counter rather than as a faulted execute event.
+            assert dispatch.attrs["respawns"] >= 1
+            assert all(
+                e.attrs["status"] == "ok" for e in events if e.name == "execute"
+            )
+        _, loaded = load_trace(path)
+        assert loaded == events
+
+
+class TestCLI:
+    def _two_traces(self, tmp_path):
+        circuits = _subset_workload()
+        _, _, path_a = _traced_batch(tmp_path / "a", circuits)
+        _, _, path_b = _traced_batch(tmp_path / "b", circuits)
+        return path_a, path_b
+
+    def test_summarize_prints_stage_lines(self, tmp_path, capsys):
+        path, _ = self._two_traces(tmp_path)
+        assert cli_main(["summarize", path]) == 0
+        out = capsys.readouterr().out
+        for stage in ("prepare", "execute", "deliver", "total"):
+            assert f"stage {stage}" in out
+        assert "tier batch-dedup" in out and "tier executed" in out
+        assert "faults retries=0 degraded=0 failed_slots=0" in out
+
+    def test_diff_same_seeded_batches_report_zero_drift(self, tmp_path, capsys):
+        path_a, path_b = self._two_traces(tmp_path)
+        assert cli_main(["diff", path_a, path_b]) == 0
+        out = capsys.readouterr().out
+        assert "no method or hit-attribution drift" in out
+        assert "stage execute" in out  # timing deltas still reported
+
+    def test_diff_detects_method_drift(self, tmp_path, capsys):
+        path_a, path_b = self._two_traces(tmp_path)
+        lines = open(path_b).read().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("name") == "request" and record["attrs"].get("slot") == 0:
+                record["attrs"]["method"] = "statevector"
+            doctored.append(json.dumps(record, sort_keys=True))
+        forged = tmp_path / "b" / "trace-forged.jsonl"
+        forged.write_text("\n".join(doctored) + "\n")
+        assert cli_main(["diff", path_a, str(forged)]) == 1
+        out = capsys.readouterr().out
+        assert "drift slot=0 field=method" in out
+
+    def test_replay_verifies_digests(self, tmp_path, capsys):
+        circuits = _subset_workload()
+        cache_dir = str(tmp_path / "cache")
+        _, _, path = _traced_batch(tmp_path / "traces", circuits, cache_dir=cache_dir)
+        assert cli_main(["replay", path, "--cache-dir", cache_dir, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "mismatched=0" in out and "missing=0" in out
+
+    def test_replay_flags_digest_mismatch(self, tmp_path, capsys):
+        circuits = _subset_workload(repeats=1)
+        cache_dir = str(tmp_path / "cache")
+        _, _, path = _traced_batch(tmp_path / "traces", circuits, cache_dir=cache_dir)
+        lines = open(path).read().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("name") == "cache-put":
+                record["attrs"]["digest"] = "0" * 16
+            doctored.append(json.dumps(record, sort_keys=True))
+        forged = tmp_path / "traces" / "trace-forged.jsonl"
+        forged.write_text("\n".join(doctored) + "\n")
+        assert cli_main(["replay", str(forged), "--cache-dir", cache_dir]) == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_replay_strict_flags_missing_entries(self, tmp_path, capsys):
+        circuits = _subset_workload(repeats=1)
+        cache_dir = str(tmp_path / "cache")
+        _, _, path = _traced_batch(tmp_path / "traces", circuits, cache_dir=cache_dir)
+        empty = str(tmp_path / "empty-cache")
+        assert cli_main(["replay", path, "--cache-dir", empty]) == 0  # lenient default
+        capsys.readouterr()
+        assert cli_main(["replay", path, "--cache-dir", empty, "--strict"]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_list_prints_traces_oldest_first(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        circuits = _subset_workload(repeats=1)
+        _, _, first = _traced_batch(trace_dir, circuits)
+        _, _, second = _traced_batch(trace_dir, circuits)
+        os.utime(second, (2_000_000_000, 2_000_000_000))
+        assert cli_main(["list", str(trace_dir)]) == 0
+        assert capsys.readouterr().out.splitlines() == [first, second]
+
+
+class TestQuTracerSpans:
+    def test_mitigation_run_nests_engine_batches(self, tmp_path):
+        from repro.core import QuTracer
+
+        circuit = QuantumCircuit(3, 3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        for q in range(3):
+            circuit.rz(0.1 * (q + 1), q)
+        circuit.measure_all()
+        engine = ExecutionEngine(trace_dir=str(tmp_path / "traces"))
+        tracer = QuTracer(
+            noise_model=NOISE, shots=2000, shots_per_circuit=200, seed=1, engine=engine
+        )
+        with tracer:
+            tracer.run(circuit, subset_size=1)
+        events = engine.tracer.trace_events()
+        names = {event.name for event in events}
+        assert {"qutracer.run", "qutracer.global", "qutracer.subset", "qutracer.update"} <= names
+        # The whole mitigation run is ONE trace: engine batches nest
+        # inside the qutracer.run root rather than starting new traces.
+        roots = [e for e in events if e.parent_id is None]
+        assert len(roots) == 1 and roots[0].name == "qutracer.run"
+        assert [e.name for e in events if e.name == "engine.execute_many"]
+        subset_spans = [e for e in events if e.name == "qutracer.subset"]
+        assert len(subset_spans) == 3  # one per traced subset
