@@ -27,6 +27,10 @@ baselines.  Two layers of speedup are guarded here:
   a fault-free 100-circuit sweep must cost < 5% wall clock versus tracing
   disabled, and two traced runs of the same seeded batch must diff clean
   (zero method / hit-attribution drift) through the trace CLI.
+* **Metrics overhead** (metrics PR): the default-on metrics layer (stage
+  histograms, tier counters, the EngineStats-over-registry view) must cost
+  < 5% wall clock versus ``metrics=False`` on the same sweep, measured
+  with the same interleaved paired-difference design.
 
 Each measurement is appended to the ``BENCH_engine.json`` artifact (see
 :func:`benchmarks.harness.record_bench`) so CI tracks the perf trajectory.
@@ -735,3 +739,73 @@ def test_traced_reruns_diff_clean(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "no method or hit-attribution drift" in out
     print("\ntrace diff of two seeded runs: zero method/hit-attribution drift")
+
+
+def test_metrics_overhead():
+    """Acceptance: the metrics layer costs < 5% on a fault-free 100-circuit sweep.
+
+    Same measurement design as the tracing-overhead floor above (interleaved
+    alternating pairs, median of paired differences, GC disabled) — the
+    metrics arm is the engine *default* (private registry, stage histograms,
+    the EngineStats-over-registry view) and the baseline is ``metrics=False``
+    (the fully dark pre-metrics hot path).  What the metered arm pays per
+    slot: three histogram observes (prepare/cache/deliver), one tier counter
+    inc, and counter-series stores instead of plain attribute stores for the
+    stats fields.  No collector runs during execution — bridged series
+    refresh only at scrape/snapshot time — so that cost stays off this path.
+    """
+    noise = NoiseModel.depolarizing(p1=0.005, p2=0.02, readout=0.02)
+    circuits = _workload(repeats=34)[:100]
+
+    def one_run(**engine_kwargs) -> float:
+        with ExecutionEngine(**engine_kwargs) as engine:
+            start = time.perf_counter()
+            results = engine.execute_many(circuits, noise, shots=1024, seed=17)
+            elapsed = time.perf_counter() - start
+        assert all(result.ok for result in results)
+        return elapsed
+
+    one_run(metrics=False)  # warm imports and numpy dispatch
+    one_run()
+    diffs = []
+    baselines = []
+
+    def collect(pairs: int) -> float:
+        for _ in range(pairs):
+            if len(diffs) % 2 == 0:
+                base = one_run(metrics=False)
+                metered = one_run()
+            else:
+                metered = one_run()
+                base = one_run(metrics=False)
+            baselines.append(base)
+            diffs.append(metered - base)
+        return statistics.median(diffs) / max(statistics.median(baselines), 1e-9)
+
+    gc.collect()
+    gc.disable()
+    try:
+        overhead = collect(24)
+        while overhead >= 0.04 and len(diffs) < 72:
+            overhead = collect(12)
+    finally:
+        gc.enable()
+
+    baseline = statistics.median(baselines)
+    delta = statistics.median(diffs)
+    print(
+        f"\nmetrics overhead (100 circuits): disabled {baseline * 1e3:.1f} ms, "
+        f"paired delta {delta * 1e3:+.2f} ms, overhead {overhead * 100:+.1f}% "
+        f"[pairs: {' '.join(f'{d * 1e3:+.2f}' for d in diffs)}]"
+    )
+    record_bench(
+        "metrics_overhead",
+        baseline + delta,
+        None,
+        extra={
+            "baseline_seconds": round(baseline, 6),
+            "overhead_fraction": round(overhead, 4),
+            "circuits": len(circuits),
+        },
+    )
+    assert overhead < 0.05, f"metrics overhead {overhead * 100:.1f}% exceeds the 5% floor"

@@ -217,6 +217,27 @@ def run_demo() -> dict:
         print(f"  [{tag:7s}] unmitigated fidelity {results[f'pcs_{tag}_unmitigated']:.4f}  "
               f"PCS fidelity {results[f'pcs_{tag}_mitigated']:.4f}")
 
+    # -- final metrics summary (the engine's own accounting) ---------------
+    # The shared engine carried both calibration stages; its registry has
+    # per-stage latency histograms and the cache counters.  The same data
+    # is available offline via ``python -m repro.metrics summarize`` when
+    # the engine is given a ``metrics_dir``.
+    stats = engine.stats
+    hits = stats.cache_hits + stats.batch_dedup_hits
+    print("\nengine metrics:")
+    print(f"  hit-rate requests={stats.requests} hits={stats.cache_hits} "
+          f"dedup={stats.batch_dedup_hits} rate={100.0 * hits / max(stats.requests, 1):.1f}%")
+    stage_family = engine.metrics.get("repro_engine_stage_seconds")
+    if stage_family is not None:
+        snapshots = sorted(
+            stage_family.series_snapshots(), key=lambda item: item[0].get("stage", "")
+        )
+        for labels, snap in snapshots:
+            q = snap["quantiles"]
+            print(f"  stage {labels['stage']:8s} n={snap['count']:<5d} "
+                  f"p50={q['0.5'] * 1e3:.3f}ms p95={q['0.95'] * 1e3:.3f}ms "
+                  f"p99={q['0.99'] * 1e3:.3f}ms")
+
     return results
 
 

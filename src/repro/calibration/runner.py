@@ -227,6 +227,14 @@ class CalibrationRunner:
         started = time.perf_counter()
         specs = self.plan()
         stats_before = self.engine.stats.to_dict()
+        # Continuous-monitoring hook: a calibration pipeline that reruns on
+        # a schedule publishes its batch and fit latencies into the
+        # engine's registry, labeled per experiment stage.
+        metrics = (
+            self.engine.metrics
+            if getattr(self.engine, "metrics_enabled", False)
+            else None
+        )
         results = self.engine.execute_many(
             [spec.circuit for spec in specs],
             self.noise_model,
@@ -235,6 +243,12 @@ class CalibrationRunner:
             method=self.method,
             on_error=self.on_error,
         )
+        if metrics is not None:
+            metrics.histogram(
+                "repro_calibration_batch_seconds",
+                "End-to-end calibration batch execution time, per device.",
+                labelnames=("device",),
+            ).labels(device=self.device.name).observe(time.perf_counter() - started)
         # Provenance link into the execution-trace layer: the calibration
         # batch just ran as one trace, so the record can name the exact
         # JSONL artifact that explains its timings and cache behaviour.
@@ -260,10 +274,27 @@ class CalibrationRunner:
         qubit_fits: dict[int, dict] = {q: {} for q in self.qubits}
         pair_fits: dict[tuple[int, int], dict] = {pair: {} for pair in self.pairs}
 
-        self._fit_readout(specs, results, qubit_fits)
-        self._fit_pair_readout(specs, results, pair_fits)
-        self._fit_rb(specs, results, qubit_fits)
-        self._fit_pauli_learning(specs, results, pair_fits)
+        fit_hist = (
+            metrics.histogram(
+                "repro_calibration_fit_seconds",
+                "Per-experiment estimator fitting time.",
+                labelnames=("experiment",),
+            )
+            if metrics is not None
+            else None
+        )
+        for experiment, fit in (
+            ("readout", lambda: self._fit_readout(specs, results, qubit_fits)),
+            ("pair_readout", lambda: self._fit_pair_readout(specs, results, pair_fits)),
+            ("rb", lambda: self._fit_rb(specs, results, qubit_fits)),
+            ("pauli_learning", lambda: self._fit_pauli_learning(specs, results, pair_fits)),
+        ):
+            fit_started = time.perf_counter()
+            fit()
+            if fit_hist is not None:
+                fit_hist.labels(experiment=experiment).observe(
+                    time.perf_counter() - fit_started
+                )
 
         return CalibrationRecord(
             device_name=self.device.name,

@@ -1,0 +1,39 @@
+"""Unified metrics & health subsystem.
+
+The aggregate companion to :mod:`repro.tracing`: a thread-safe
+:class:`MetricsRegistry` of counters, gauges, and latency histograms
+(fixed log-spaced buckets + streaming p50/p95/p99), Prometheus/JSON
+exposition, atomic JSONL snapshot persistence, and a
+``python -m repro.metrics`` CLI (``summarize`` / ``diff`` / ``watch``).
+
+The package is dependency-free within ``repro`` — the engine imports
+metrics, never vice versa — so the CLI works on a bare snapshot
+directory.  See ``docs/architecture.md`` for the instrument catalog and
+label conventions.
+"""
+
+from .export import METRICS_FORMAT, METRICS_FORMAT_VERSION, to_json, to_prometheus
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+)
+from .snapshot import MetricsStore, load_snapshot
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_FORMAT",
+    "METRICS_FORMAT_VERSION",
+    "MetricsRegistry",
+    "MetricsStore",
+    "get_global_registry",
+    "load_snapshot",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,94 @@
+"""Exposition: render a registry for scrapers and snapshots.
+
+Two formats, one source of truth (:meth:`MetricsRegistry.collect`):
+
+* :func:`to_prometheus` — Prometheus text exposition format v0.0.4
+  (``# HELP``/``# TYPE`` preamble, one sample line per series; histograms
+  expand to cumulative ``_bucket{le=...}`` samples plus ``_sum`` and
+  ``_count``).  Streaming quantiles are **not** emitted here — one metric
+  name cannot be both a histogram and a summary — Prometheus consumers
+  derive quantiles from the buckets; exact streaming estimates live in the
+  JSON form and the CLI.
+* :func:`to_json` — the full structured snapshot (buckets *and* p50/p95/p99,
+  min/max), used by the JSONL snapshot store and the ``repro.metrics`` CLI.
+
+Both run collectors via ``collect()`` and are safe to call from any thread
+concurrently with execution.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .registry import MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus", "METRICS_FORMAT", "METRICS_FORMAT_VERSION"]
+
+# Snapshot schema identity, mirrored by the JSONL store's header line.
+METRICS_FORMAT = "repro-metrics"
+METRICS_FORMAT_VERSION = 1
+
+
+def to_json(registry: MetricsRegistry, snapshot_id: str | None = None) -> dict:
+    """The full registry state as one JSON-serializable document."""
+    document = {
+        "format": METRICS_FORMAT,
+        "version": METRICS_FORMAT_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "metrics": registry.collect(),
+    }
+    if snapshot_id is not None:
+        document["snapshot_id"] = snapshot_id
+    return document
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels.items(), *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format v0.0.4."""
+    lines: list[str] = []
+    for family in registry.collect():
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if family["type"] == "histogram":
+                for bound, cumulative in series.get("buckets", []):
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, (('le', _number(float(bound))),))} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, (('le', '+Inf'),))} {series['count']}"
+                )
+                lines.append(f"{name}_sum{_labels_text(labels)} {_number(series['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labels)} {series['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)} {_number(series['value'])}")
+    return "\n".join(lines) + "\n"

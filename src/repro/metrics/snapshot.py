@@ -1,0 +1,115 @@
+"""Versioned JSONL persistence for metrics snapshots.
+
+One snapshot = one file, ``metrics-<stamp>.jsonl``: a header line naming
+the format and schema version, then one JSON object per metric family.
+Files are published atomically (temp file + ``os.replace``) so a reader —
+including a concurrent ``repro.metrics watch`` — never observes a torn
+snapshot, mirroring the trace store's publish discipline.
+
+Writes never raise: a full disk or read-only tree increments
+:attr:`MetricsStore.write_errors` and the process continues with the live
+in-memory registry.  Loads are strict — a missing or alien header is a
+``ValueError``, because a snapshot that cannot be attributed to a schema
+version cannot be diffed safely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+import time
+
+from .export import METRICS_FORMAT, METRICS_FORMAT_VERSION
+from .registry import MetricsRegistry
+
+__all__ = ["MetricsStore", "load_snapshot"]
+
+_sequence = itertools.count()
+
+
+class MetricsStore:
+    """Directory of JSONL metrics-snapshot artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.write_errors = 0
+        self.last_path: str | None = None
+
+    def path_for(self, snapshot_id: str) -> str:
+        return os.path.join(self.root, f"metrics-{snapshot_id}.jsonl")
+
+    def write(self, registry: MetricsRegistry, snapshot_id: str | None = None) -> str | None:
+        """Persist one snapshot; returns its path (None on failure)."""
+        if snapshot_id is None:
+            # Monotonic-enough and collision-free across processes and
+            # rapid successive flushes within one process.
+            snapshot_id = f"{time.time_ns():017d}-{os.getpid()}-{next(_sequence)}"
+        families = registry.collect()
+        header = {
+            "format": METRICS_FORMAT,
+            "version": METRICS_FORMAT_VERSION,
+            "snapshot_id": snapshot_id,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "metrics": len(families),
+        }
+        dumps = json.dumps
+        lines = [dumps(header, separators=(",", ":"))]
+        lines.extend(dumps(family, separators=(",", ":")) for family in families)
+        payload = "\n".join(lines) + "\n"
+        path = self.path_for(snapshot_id)
+        try:
+            fd, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.write_errors += 1
+            return None
+        self.last_path = path
+        return path
+
+    def list(self) -> list[str]:
+        """Snapshot file paths, oldest first (by mtime, then name)."""
+        entries = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            if not (name.startswith("metrics-") and name.endswith(".jsonl")):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, name, path))
+        return [path for _, _, path in sorted(entries)]
+
+
+def load_snapshot(path: str) -> tuple[dict, list[dict]]:
+    """Load ``(header, families)`` from a snapshot; strict on format."""
+    with open(path, "r") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty metrics snapshot")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != METRICS_FORMAT:
+        raise ValueError(f"{path}: not a {METRICS_FORMAT} file")
+    if header.get("version") != METRICS_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported metrics version {header.get('version')!r} "
+            f"(expected {METRICS_FORMAT_VERSION})"
+        )
+    families = [json.loads(line) for line in lines[1:]]
+    return header, families

@@ -266,7 +266,13 @@ class PersistentResultCache:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Counter snapshot for telemetry and fault post-mortems."""
+        """Counter snapshot for telemetry and fault post-mortems.
+
+        ``approx_bytes`` is the eviction bookkeeping's running estimate of
+        the tree size — 0 until the first size-capped write forces a scan
+        (an unprompted ``total_bytes()`` walk here would put a directory
+        scan on every metrics scrape).
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -274,6 +280,7 @@ class PersistentResultCache:
             "write_errors": self.write_errors,
             "corrupt_entries": self.corrupt_entries,
             "disabled": self.disabled,
+            "approx_bytes": self._approx_bytes or 0,
         }
 
     def _quarantine(self, path: str) -> None:

@@ -41,6 +41,7 @@ deduplication exact rather than approximate.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import time
@@ -52,6 +53,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit, circuit_fingerprint
 from ..distributions import Counts, ProbabilityDistribution, scatter_outcomes
+from ..metrics import MetricsRegistry, MetricsStore, get_global_registry
 from ..noise import NoiseModel, as_noise_model
 from ..tracing import TraceRecorder, TraceStore, result_digest
 from ..transpiler.compilation import CompilationCache, CompiledCircuit
@@ -105,9 +107,41 @@ _DEGRADATION_LADDER = {"stabilizer": "trajectory", "trajectory": "trajectory_loo
 # CompilationCache keys on it too); re-exported here for compatibility.
 
 
+# EngineStats field -> (metric family, help).  Every *numeric* field must
+# appear here: _bind() walks dataclasses.fields() and raises on an unmapped
+# counter, so a newly added stat cannot silently fork from the registry.
+_STAT_METRICS = {
+    "requests": ("repro_engine_requests_total", "Request slots submitted to execute/execute_many."),
+    "cache_hits": ("repro_engine_cache_hits_total", "Slots served from the result cache (memory or persistent tier)."),
+    "cache_misses": ("repro_engine_cache_misses_total", "Cacheable slots that missed every cache tier."),
+    "batch_dedup_hits": ("repro_engine_batch_dedup_hits_total", "Slots served by another slot of the same batch."),
+    "uncacheable": ("repro_engine_uncacheable_total", "Unseeded sampled slots executed fresh every time."),
+    "executed": ("repro_engine_executed_total", "Backend executions actually run (post dedup and caches)."),
+    "state_cache_hits": ("repro_engine_state_cache_hits_total", "Density-matrix runs served a cached pre-readout distribution."),
+    "persistent_hits": ("repro_engine_persistent_hits_total", "Cache hits served from the on-disk tier (subset of cache_hits)."),
+    "parallel_executed": ("repro_engine_parallel_executed_total", "Executions dispatched to pool workers."),
+    "compile_hits": ("repro_engine_compile_hits_total", "Hardware-aware compilations served by the CompilationCache."),
+    "compile_misses": ("repro_engine_compile_misses_total", "Hardware-aware compilations that had to run the pipeline."),
+    "stabilizer_executed": ("repro_engine_stabilizer_executed_total", "Executions routed through the stabilizer tableau backend."),
+    "retries": ("repro_engine_retries_total", "Re-attempts after retryable faults."),
+    "isolated_failures": ("repro_engine_isolated_failures_total", "Request slots terminated as FailedResult under on_error='isolate'."),
+    "degraded_backend": ("repro_engine_degraded_backend_total", "Rungs walked down the backend degradation ladder."),
+    "pool_respawns": ("repro_engine_pool_respawns_total", "Process-pool respawns after worker crashes or timeouts."),
+}
+
+
 @dataclasses.dataclass
 class EngineStats:
-    """Cache and execution accounting for one :class:`ExecutionEngine`."""
+    """Cache and execution accounting for one :class:`ExecutionEngine`.
+
+    When the engine runs with metrics enabled (the default), the numeric
+    fields here are a **thin view over registry counter series** — after
+    :meth:`_bind`, every read and write routes to the engine's
+    :class:`~repro.metrics.MetricsRegistry`, so the dataclass API and the
+    scrape endpoint can never disagree (bridge, don't duplicate).  Unbound
+    instances (``metrics=False``, or constructed standalone) behave as the
+    plain dataclass they always were.
+    """
 
     requests: int = 0
     cache_hits: int = 0
@@ -169,7 +203,10 @@ class EngineStats:
 
         Field-driven so a newly added counter can never be silently
         skipped — hand-listing fields here is how stale telemetry leaked
-        across runs before.
+        across runs before.  On a bound instance the writes route to the
+        registry series, so the scrape view resets in the same motion
+        (``repro.metrics diff`` reports a reset as the counter regression
+        it is).
         """
         for field in dataclasses.fields(self):
             if field.default is not dataclasses.MISSING:
@@ -178,6 +215,52 @@ class EngineStats:
                 setattr(self, field.name, field.default_factory())
             else:  # pragma: no cover - every stats field has a default
                 raise TypeError(f"EngineStats.{field.name} has no default to reset to")
+
+    # ------------------------------------------------------------------
+    # Registry bridge
+    # ------------------------------------------------------------------
+
+    def _bind(self, registry: MetricsRegistry) -> None:
+        """Route this instance's numeric fields through registry series.
+
+        Current values seed the series; the instance attributes are then
+        removed so every later access goes through ``__getattr__`` /
+        ``__setattr__`` to the single registry-held value.
+        """
+        series = {}
+        for field in dataclasses.fields(self):
+            if field.name == "fallback_reason":  # str|None: not a counter
+                continue
+            metric_name, help_text = _STAT_METRICS[field.name]
+            bound = registry.counter(metric_name, help_text).labels()
+            bound.set(object.__getattribute__(self, field.name))
+            series[field.name] = bound
+        object.__setattr__(self, "_series", series)
+        for name in series:
+            self.__dict__.pop(name, None)
+
+    def __setattr__(self, name: str, value) -> None:
+        series = self.__dict__.get("_series")
+        if series is not None:
+            bound = series.get(name)
+            if bound is not None:
+                bound.set(value)
+                return
+        object.__setattr__(self, name, value)
+
+    def __getattribute__(self, name: str):
+        # __getattr__ would not suffice: dataclass field defaults are
+        # *class* attributes, so after _bind removes the instance values a
+        # plain lookup would quietly resolve to the default instead of the
+        # registry series.  Route bound counter fields here; everything
+        # else (properties, methods, unbound instances) falls through.
+        instance_dict = object.__getattribute__(self, "__dict__")
+        series = instance_dict.get("_series")
+        if series is not None:
+            bound = series.get(name)
+            if bound is not None:
+                return bound.value
+        return object.__getattribute__(self, name)
 
 
 @dataclasses.dataclass
@@ -281,6 +364,21 @@ class ExecutionEngine:
         Convenience: directory for persisted JSONL trace artifacts.
         Builds ``TraceRecorder(store=TraceStore(trace_dir))`` when no
         explicit ``tracer`` is given; ignored otherwise.
+    metrics:
+        Aggregate telemetry (:mod:`repro.metrics`).  ``None`` (default)
+        builds a private :class:`~repro.metrics.MetricsRegistry`; pass a
+        registry to publish into a shared one (the process-wide default
+        engine uses :func:`~repro.metrics.get_global_registry`); pass
+        ``False`` to disable the layer entirely — ``EngineStats`` then
+        stays a plain dataclass and the hot path records no timings.
+        With metrics on, ``engine.metrics`` is scrape-safe at any time:
+        per-stage latency histograms, per-tier request counters, fault
+        counters by error class, and health gauges for every cache tier.
+    metrics_dir:
+        Directory for JSONL metrics snapshots, written on
+        :meth:`close` and at interpreter exit (atomic publish; writes
+        never raise).  Requires metrics enabled.  Inspect with
+        ``python -m repro.metrics summarize/diff/watch``.
     """
 
     def __init__(
@@ -301,6 +399,8 @@ class ExecutionEngine:
         on_error: str = "raise",
         tracer: TraceRecorder | None = None,
         trace_dir: str | None = None,
+        metrics: MetricsRegistry | bool | None = None,
+        metrics_dir: str | None = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -308,6 +408,8 @@ class ExecutionEngine:
             raise ValueError("workers must be >= 1 (or None for in-process)")
         if on_error not in ("raise", "isolate"):
             raise ValueError("on_error must be 'raise' or 'isolate'")
+        if metrics is False and metrics_dir is not None:
+            raise ValueError("metrics_dir requires metrics enabled")
         self.density_matrix_threshold = int(density_matrix_threshold)
         self.max_trajectories = int(max_trajectories)
         self.cache_size = int(cache_size)
@@ -337,6 +439,54 @@ class ExecutionEngine:
             max_entries=compilation_cache_size, persistent=self._persistent
         )
         self.stats = EngineStats()
+        # --- aggregate telemetry (repro.metrics) ----------------------
+        # self._observe gates every hot-path instrumentation site; with
+        # metrics=False the engine behaves exactly as before the metrics
+        # layer existed (plain-dataclass stats, no timing calls).
+        if metrics is False:
+            self.metrics: MetricsRegistry | None = None
+            self._observe = False
+        else:
+            self.metrics = metrics if isinstance(metrics, MetricsRegistry) else MetricsRegistry()
+            self._observe = True
+        self._metrics_store = MetricsStore(metrics_dir) if metrics_dir is not None else None
+        self._metrics_flushed = False
+        if self._observe:
+            registry = self.metrics
+            self.stats._bind(registry)
+            self._stage_hist = registry.histogram(
+                "repro_engine_stage_seconds",
+                "Per-slot pipeline stage latency (prepare / cache lookup / deliver).",
+                labelnames=("stage",),
+            )
+            self._stage_series = {
+                stage: self._stage_hist.labels(stage=stage)
+                for stage in ("prepare", "cache", "deliver")
+            }
+            self._execute_hist = registry.histogram(
+                "repro_engine_execute_seconds",
+                "Backend execution wall time per recovery-loop invocation, by resolved method.",
+                labelnames=("method",),
+            )
+            self._execute_method_series: dict[str, Any] = {}
+            self._tier_counter = registry.counter(
+                "repro_engine_requests_by_tier_total",
+                "Request slots by serving tier (memory/persistent/batch-dedup/executed/...).",
+                labelnames=("tier",),
+            )
+            self._tier_series: dict[str, Any] = {}
+            self._fault_counter = registry.counter(
+                "repro_engine_faults_total",
+                "Fault-layer interventions (retried/degraded/isolated) by error class.",
+                labelnames=("kind", "error"),
+            )
+            registry.add_collector(self._collect_health)
+            if self._metrics_store is not None:
+                # Weak atexit hook, mirroring the tracer's flush-at-exit: a
+                # live engine snapshots its final registry state even when
+                # the consumer never calls close(); a collected engine
+                # must not be kept alive by the hook.
+                atexit.register(_flush_metrics_ref, weakref.ref(self))
         # Maps result keys -> ExecutionResult and "dm-state" keys -> the
         # (distribution, measured_qubits) pre-readout payload.
         self._cache: OrderedDict[tuple, Any] = OrderedDict()
@@ -567,13 +717,18 @@ class ExecutionEngine:
         fusion = self.fusion if fusion is None else bool(fusion)
         workers = (self.workers or 1) if workers is None else int(workers)
         # Per-slot trace bookkeeping ("bt"): stage timings and cache-tier
-        # attribution, emitted as one "request" event per slot at batch
-        # end.  None when tracing is off — every emit site is guarded, so
-        # the untraced hot path pays one comparison per slot.
+        # attribution, emitted as one "request" event per slot at batch end
+        # and fed to the metrics histograms.  None when both tracing and
+        # metrics are off — every emit site is guarded, so the dark hot
+        # path pays one comparison per slot.
+        observing = tracer is not None or self._observe
+        if self._metrics_store is not None:
+            # New work after a close() re-arms the atexit snapshot.
+            self._metrics_flushed = False
         bt: dict[str, list] | None = None
         prepared: list[_Prepared | FailedResult] = []
         for circuit in circuits:
-            prepare_started = time.perf_counter() if tracer is not None else 0.0
+            prepare_started = time.perf_counter() if observing else 0.0
             try:
                 prepared.append(
                     self._prepare(
@@ -586,11 +741,11 @@ class ExecutionEngine:
                 if not isolate:
                     raise  # historical contract: the original exception type
                 prepared.append(self._failed_prepare(circuit, exc))
-            if bt is None and tracer is not None:
+            if bt is None and observing:
                 bt = _batch_trace(len(circuits))
             if bt is not None:
                 bt["prepare"][len(prepared) - 1] = time.perf_counter() - prepare_started
-        if bt is None and tracer is not None:
+        if bt is None and observing:
             bt = _batch_trace(len(circuits))
         if workers > 1 and len(prepared) > 1:
             return self._execute_many_parallel(
@@ -605,7 +760,7 @@ class ExecutionEngine:
         for index, request in enumerate(prepared):
             self.stats.requests += 1
             if isinstance(request, FailedResult):
-                self.stats.isolated_failures += 1
+                self._count_isolated(request)
                 if bt is not None:
                     bt["tiers"][index] = "failed-prepare"
                 results[index] = request
@@ -621,7 +776,7 @@ class ExecutionEngine:
                 except Exception as exc:
                     if not isolate:
                         raise
-                    self.stats.isolated_failures += 1
+                    self._count_isolated(exc)
                     results[index] = self._failed_result(request, exc)
                     continue
                 results[index] = self._deliver_traced(result, request, bt, index)
@@ -634,7 +789,7 @@ class ExecutionEngine:
                 continue
             if request.key in batch_failed:
                 self.stats.batch_dedup_hits += 1
-                self.stats.isolated_failures += 1
+                self._count_isolated(batch_failed[request.key])
                 if bt is not None:
                     bt["tiers"][index] = "batch-dedup"
                 results[index] = dataclasses.replace(
@@ -658,7 +813,7 @@ class ExecutionEngine:
                     raise
                 failed = self._failed_result(request, exc)
                 batch_failed[request.key] = failed
-                self.stats.isolated_failures += 1
+                self._count_isolated(failed)
                 results[index] = failed
                 continue
             # A degraded-backend result is never cached: the key's cache
@@ -672,6 +827,7 @@ class ExecutionEngine:
             # every later hit on this key.
             results[index] = self._deliver_traced(result, request, bt, index)
         self._emit_slot_events(results, prepared, bt)
+        self._observe_batch(bt)
         # One result per input, in input order — callers zip against their
         # inputs, so a silently shrunk list would misattribute results.
         self._check_delivered(results, prepared)
@@ -794,6 +950,125 @@ class ExecutionEngine:
             attrs["status"] = "ok"
             attrs["method"] = getattr(output, "method", None)
         tracer.emit("execute", attrs, duration)
+
+    # ------------------------------------------------------------------
+    # Metrics emission
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_enabled(self) -> bool:
+        """True when the aggregate telemetry layer is recording."""
+        return self._observe
+
+    def _observe_batch(self, bt: dict | None) -> None:
+        """Feed one batch's stage timings and tier attributions to the registry."""
+        if bt is None or not self._observe:
+            return
+        for stage, series in self._stage_series.items():
+            for timing in bt[stage]:
+                if timing is not None:
+                    series.observe(timing)
+        tier_series = self._tier_series
+        for tier in bt["tiers"]:
+            tier = tier or "uncacheable"
+            series = tier_series.get(tier)
+            if series is None:
+                series = tier_series[tier] = self._tier_counter.labels(tier=tier)
+            series.inc()
+
+    def _execute_series(self, method: str | None):
+        method = method or "unknown"
+        series = self._execute_method_series.get(method)
+        if series is None:
+            series = self._execute_method_series[method] = self._execute_hist.labels(
+                method=method
+            )
+        return series
+
+    def _count_isolated(self, failed) -> None:
+        """Count one isolated slot, labeled by the fault's error class.
+
+        ``failed`` is the :class:`FailedResult` in hand or the raw
+        exception when the slot has not been wrapped yet.
+        """
+        self.stats.isolated_failures += 1
+        if self._observe:
+            error = failed.error if isinstance(failed, FailedResult) else failed
+            label = type(error).__name__ if isinstance(error, BaseException) else "unknown"
+            self._fault_counter.labels(kind="isolated", error=label).inc()
+
+    def _count_fault(self, kind: str, fault: BaseException) -> None:
+        if self._observe:
+            self._fault_counter.labels(kind=kind, error=type(fault).__name__).inc()
+
+    def _collect_health(self) -> None:
+        """Scrape-time collector: refresh bridged health series.
+
+        Reads the authoritative sources (cache ``stats()``, the
+        compilation cache's tallies, the tracer and the snapshot store)
+        and mirrors them into registry series, so an export is current
+        without any of these subsystems writing metrics on their own hot
+        paths.  Pure reads — safe concurrent with execution.
+        """
+        registry = self.metrics
+        if self._persistent is not None:
+            cache_stats = self._persistent.stats()
+            events = registry.counter(
+                "repro_result_cache_events_total",
+                "Persistent result-cache events, bridged from PersistentResultCache.stats().",
+                labelnames=("event",),
+            )
+            for event in ("hits", "misses", "evictions", "write_errors", "corrupt_entries"):
+                events.labels(event=event).set(cache_stats.get(event, 0))
+            registry.gauge(
+                "repro_result_cache_approx_bytes",
+                "Approximate bytes resident in the persistent result-cache tree.",
+            ).set(cache_stats.get("approx_bytes", 0))
+            registry.gauge(
+                "repro_result_cache_disabled",
+                "1 when the persistent cache disabled itself after repeated write errors.",
+            ).set(1 if cache_stats.get("disabled") else 0)
+        compilation = self._compilation
+        tiers = registry.counter(
+            "repro_compilation_cache_lookups_total",
+            "CompilationCache lookups by serving tier.",
+            labelnames=("tier",),
+        )
+        persistent_hits = compilation.persistent_hits
+        tiers.labels(tier="memory").set(compilation.hits - persistent_hits)
+        tiers.labels(tier="persistent").set(persistent_hits)
+        tiers.labels(tier="compiled").set(compilation.misses)
+        registry.gauge(
+            "repro_compilation_cache_entries",
+            "Compiled circuits resident in the in-memory compilation cache.",
+        ).set(compilation.stats().get("entries", 0))
+        tracer = self.tracer
+        if tracer is not None:
+            trace_stats = tracer.stats()
+            registry.counter(
+                "repro_trace_write_errors_total",
+                "Trace artifacts that failed to persist (write-never-raises).",
+            ).set(trace_stats.get("write_errors", 0))
+            registry.counter(
+                "repro_trace_dropped_traces_total",
+                "Finished traces evicted from the recorder's bounded ring.",
+            ).set(trace_stats.get("dropped_traces", 0))
+            registry.counter(
+                "repro_trace_dropped_events_total",
+                "Events lost with ring-evicted traces.",
+            ).set(trace_stats.get("dropped_events", 0))
+        if self._metrics_store is not None:
+            registry.counter(
+                "repro_metrics_write_errors_total",
+                "Metrics snapshots that failed to persist (write-never-raises).",
+            ).set(self._metrics_store.write_errors)
+
+    def _flush_metrics(self) -> None:
+        """Snapshot the registry to the metrics store (never raises)."""
+        if self._metrics_store is None:
+            return
+        self._metrics_store.write(self.metrics)
+        self._metrics_flushed = True
 
     def _failed_prepare(self, circuit: QuantumCircuit, exc: Exception) -> FailedResult:
         """FailedResult for a circuit that could not be prepared (isolate mode)."""
@@ -926,7 +1201,7 @@ class ExecutionEngine:
             self.stats.requests += 1
             if isinstance(request, FailedResult):
                 # Prepare already failed this slot (isolate mode only).
-                self.stats.isolated_failures += 1
+                self._count_isolated(request)
                 if bt is not None:
                     bt["tiers"][index] = "failed-prepare"
                 results[index] = request
@@ -942,7 +1217,7 @@ class ExecutionEngine:
                     if enqueue_density_matrix(request, ("direct", index)):
                         result, failed = self._guarded(request, shots, max_trajectories, isolate)
                         if failed is not None:
-                            self.stats.isolated_failures += 1
+                            self._count_isolated(failed)
                             results[index] = failed
                         else:
                             results[index] = self._deliver_traced(result, request, bt, index)
@@ -969,7 +1244,7 @@ class ExecutionEngine:
                     # Later duplicates of this key hit the result cache.
                     result, failed = self._guarded(request, shots, max_trajectories, isolate)
                     if failed is not None:
-                        self.stats.isolated_failures += 1
+                        self._count_isolated(failed)
                         results[index] = failed
                     else:
                         if "degraded_from" not in result.metadata:
@@ -1032,7 +1307,7 @@ class ExecutionEngine:
             # One poison execution fails every duplicate slot awaiting it —
             # the same dedup that shares results shares failures.
             for index in pending[key]:
-                self.stats.isolated_failures += 1
+                self._count_isolated(failed)
                 results[index] = dataclasses.replace(failed, metadata=dict(failed.metadata))
 
         for task_index, ((kind, ref), output) in enumerate(zip(task_refs, outputs)):
@@ -1044,6 +1319,13 @@ class ExecutionEngine:
                 fragment = output.metadata.pop("trace_fragment", None)
             if tracer is not None:
                 self._emit_pool_execute_event(tasks[task_index], output, fragment)
+            if self._observe and fragment is not None:
+                # Worker clocks are incomparable with the parent's; the
+                # fragment's self-measured duration is still a valid
+                # latency sample for the method's execute histogram.
+                duration = fragment.get("duration")
+                if duration is not None:
+                    self._execute_series(tasks[task_index].method).observe(duration)
             if kind == "direct":
                 request = prepared[ref]
                 if isinstance(output, ExecutionFault):
@@ -1051,7 +1333,7 @@ class ExecutionEngine:
                         request, shots, max_trajectories, isolate, first_fault=output
                     )
                     if failed is not None:
-                        self.stats.isolated_failures += 1
+                        self._count_isolated(failed)
                         results[ref] = failed
                     else:
                         results[ref] = self._deliver_traced(result, request, bt, ref)
@@ -1095,7 +1377,7 @@ class ExecutionEngine:
                             )
                             fault = None
                             if failed is not None:
-                                self.stats.isolated_failures += 1
+                                self._count_isolated(failed)
                                 results[consumer_ref] = failed
                             else:
                                 results[consumer_ref] = self._deliver_traced(
@@ -1133,6 +1415,7 @@ class ExecutionEngine:
                                 result, prepared[index], bt, index
                             )
         self._emit_slot_events(results, prepared, bt)
+        self._observe_batch(bt)
         self._check_delivered(results, prepared)
         return results  # type: ignore[return-value]
 
@@ -1162,6 +1445,7 @@ class ExecutionEngine:
                 chunk_size=self.chunk_size,
                 retry_policy=self.retry_policy,
                 task_timeout=self.task_timeout,
+                metrics=self.metrics if self._observe else None,
             )
         return self._sharder
 
@@ -1173,6 +1457,7 @@ class ExecutionEngine:
             self._sharder = None
         if self.tracer is not None:
             self.tracer.flush()  # publish any deferred trace artifact
+        self._flush_metrics()  # publish the final registry snapshot
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -1376,15 +1661,18 @@ class ExecutionEngine:
         max_trajectories: int,
         first_fault: ExecutionFault | None = None,
     ) -> ExecutionResult:
-        """Traced front of :meth:`_execute_with_policy_impl`.
+        """Instrumented front of :meth:`_execute_with_policy_impl`.
 
-        Emits one "execute" event per recovery-loop invocation: measured
-        duration, retry/degradation deltas, dm-state attribution and —
-        on the raise path — the fault annotation.  ``first_fault`` marks
-        a recovery of work that already failed in a pool worker.
+        When traced, emits one "execute" event per recovery-loop
+        invocation: measured duration, retry/degradation deltas, dm-state
+        attribution and — on the raise path — the fault annotation.  When
+        metrics are on, the same measured duration feeds the per-method
+        execute histogram.  ``first_fault`` marks a recovery of work that
+        already failed in a pool worker.
         """
         tracer = self.tracer
-        if tracer is None or not tracer.active:
+        traced = tracer is not None and tracer.active
+        if not traced and not self._observe:
             return self._execute_with_policy_impl(request, shots, max_trajectories, first_fault)
         stats = self.stats
         retries_before = stats.retries
@@ -1401,28 +1689,36 @@ class ExecutionEngine:
         except (KeyboardInterrupt, SystemExit):
             raise
         except BaseException as exc:
+            elapsed = time.perf_counter() - started
+            if traced:
+                tracer.event(
+                    "execute",
+                    duration=elapsed,
+                    status="failed",
+                    retries=stats.retries - retries_before,
+                    degraded=stats.degraded_backend - degraded_before,
+                    **attrs,
+                    **fault_annotation(exc),
+                )
+            if self._observe:
+                self._execute_series(request.method).observe(elapsed)
+            raise
+        elapsed = time.perf_counter() - started
+        if traced:
+            degraded_from = result.metadata.get("degraded_from")
             tracer.event(
                 "execute",
-                duration=time.perf_counter() - started,
-                status="failed",
+                duration=elapsed,
+                status="ok",
+                method=result.method,
                 retries=stats.retries - retries_before,
                 degraded=stats.degraded_backend - degraded_before,
+                dm_state_hit=stats.state_cache_hits > dm_hits_before,
+                **({"degraded_from": degraded_from} if degraded_from is not None else {}),
                 **attrs,
-                **fault_annotation(exc),
             )
-            raise
-        degraded_from = result.metadata.get("degraded_from")
-        tracer.event(
-            "execute",
-            duration=time.perf_counter() - started,
-            status="ok",
-            method=result.method,
-            retries=stats.retries - retries_before,
-            degraded=stats.degraded_backend - degraded_before,
-            dm_state_hit=stats.state_cache_hits > dm_hits_before,
-            **({"degraded_from": degraded_from} if degraded_from is not None else {}),
-            **attrs,
-        )
+        if self._observe:
+            self._execute_series(result.method or request.method).observe(elapsed)
         return result
 
     def _execute_with_policy_impl(
@@ -1464,8 +1760,10 @@ class ExecutionEngine:
                 if isinstance(fault, BackendUnavailableError) and method in _DEGRADATION_LADDER:
                     method = _DEGRADATION_LADDER[method]
                     self.stats.degraded_backend += 1
+                    self._count_fault("degraded", fault)
                 elif policy.is_retryable(fault) and attempt < policy.max_attempts:
                     self.stats.retries += 1
+                    self._count_fault("retried", fault)
                     policy.sleep(attempt, seed=request.seed)
                     attempt += 1
                 else:
@@ -1708,12 +2006,29 @@ def _derive_seed(seed: int | None, fingerprint: str) -> int | None:
     return int.from_bytes(digest[:4], "big")
 
 
+def _flush_metrics_ref(ref: "weakref.ref[ExecutionEngine]") -> None:
+    """atexit hook body: snapshot a still-live engine's final metrics.
+
+    Module-level (not a bound method) so registering it cannot keep the
+    engine alive; skips engines that already flushed via close().
+    """
+    engine = ref()
+    if engine is not None and not engine._metrics_flushed:
+        engine._flush_metrics()
+
+
 _default_engine: ExecutionEngine | None = None
 
 
 def get_default_engine() -> ExecutionEngine:
-    """Process-wide shared engine used when a consumer does not bring its own."""
+    """Process-wide shared engine used when a consumer does not bring its own.
+
+    Publishes its telemetry into the process-wide registry
+    (:func:`repro.metrics.get_global_registry`) — the shared engine is
+    the process's execution service, so its counters belong on the
+    process-wide scrape.
+    """
     global _default_engine
     if _default_engine is None:
-        _default_engine = ExecutionEngine()
+        _default_engine = ExecutionEngine(metrics=get_global_registry())
     return _default_engine

@@ -337,6 +337,10 @@ class ParallelSharder:
     task_timeout:
         Wall-clock seconds each dispatched task may take, measured from
         dispatch of its wave.  ``None`` (default) disables timeouts.
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry` to publish
+        dispatch counts, respawns, and the fallback reason (as an
+        ``*_info`` gauge) into.  ``None`` records nothing.
 
     The pool is created on first use and reused across batches (worker
     startup is paid once per engine, not once per ``execute_many`` call).
@@ -350,6 +354,7 @@ class ParallelSharder:
         chunk_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
         task_timeout: float | None = None,
+        metrics=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -361,6 +366,26 @@ class ParallelSharder:
         self.chunk_size = chunk_size
         self.retry_policy = retry_policy or RetryPolicy()
         self.task_timeout = task_timeout
+        self._metrics = metrics
+        if metrics is not None:
+            self._dispatched_counter = metrics.counter(
+                "repro_parallel_dispatched_total",
+                "Sharded tasks executed in pool worker processes.",
+            )
+            self._inprocess_counter = metrics.counter(
+                "repro_parallel_inprocess_total",
+                "Sharded tasks that ran in the parent (serial rung or fallback).",
+            )
+            self._respawn_counter = metrics.counter(
+                "repro_parallel_respawns_total",
+                "Process-pool respawns after worker crashes or stuck workers.",
+            )
+            self._fallback_info = metrics.gauge(
+                "repro_parallel_fallback_info",
+                "1 on the series labeled with the sharder's current fallback "
+                "reason; no series while the pool is healthy.",
+                labelnames=("reason",),
+            )
         # Why the sharder last ran (or is running) without its pool; sticky
         # record for telemetry — the pool itself is re-probed per batch.
         self.fallback_reason: str | None = None
@@ -576,6 +601,16 @@ class ParallelSharder:
         return requeued
 
     def _finish(self, outcomes: list, isolate: bool) -> list:
+        if self._metrics is not None:
+            # Every run() exit path lands here with last_dispatched /
+            # last_respawns / fallback_reason final for the batch; count
+            # before the non-isolate raise so aborted batches are visible.
+            self._dispatched_counter.inc(self.last_dispatched)
+            self._inprocess_counter.inc(len(outcomes) - self.last_dispatched)
+            self._respawn_counter.inc(self.last_respawns)
+            self._fallback_info.clear()
+            if self.fallback_reason is not None:
+                self._fallback_info.labels(reason=self.fallback_reason).set(1)
         if not isolate:
             for outcome in outcomes:
                 if isinstance(outcome, ExecutionFault):

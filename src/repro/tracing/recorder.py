@@ -89,6 +89,12 @@ class TraceRecorder:
         self._epoch = 0.0
         self._seq = 0
         self._trace_count = 0
+        # Ring-overflow accounting: traces (and the events they carried)
+        # evicted from the bounded ring.  Before these counters existed
+        # the loss was silent; the engine's metrics collector bridges
+        # them (with the store's write_errors) onto the scrape endpoint.
+        self.dropped_traces = 0
+        self.dropped_events = 0
         # Finished-but-unflushed trace.  The JSONL encode + write (~1-2 ms)
         # is deferred off the traced call's critical path — the same move
         # production tracers make with batched span exporters — and runs on
@@ -224,6 +230,22 @@ class TraceRecorder:
     # Finished-trace access
     # ------------------------------------------------------------------
 
+    def stats(self) -> dict:
+        """Recorder health snapshot, in the subsystem ``stats()`` idiom.
+
+        Surfaces what used to vanish silently: ring evictions
+        (``dropped_traces`` / ``dropped_events``) and the store's
+        ``write_errors``.
+        """
+        return {
+            "traces": self._trace_count,
+            "retained": len(self.traces),
+            "dropped_traces": self.dropped_traces,
+            "dropped_events": self.dropped_events,
+            "pending_flush": self._pending is not None,
+            "write_errors": self.store.write_errors if self.store is not None else 0,
+        }
+
     def trace_events(self, trace_id: str | None = None) -> list[TraceEvent]:
         """Events of a finished trace (default: the most recent one)."""
         if not self.traces:
@@ -248,6 +270,9 @@ class TraceRecorder:
         events = self._events
         self.traces.append((trace_id, events))
         if len(self.traces) > self.keep:
+            overflow = self.traces[: len(self.traces) - self.keep]
+            self.dropped_traces += len(overflow)
+            self.dropped_events += sum(len(raw) for _, raw in overflow)
             del self.traces[: len(self.traces) - self.keep]
         self.last_trace_id = trace_id
         self._trace_id = None

@@ -64,11 +64,28 @@ def test_calibrate_and_mitigate_learned_model():
     buffer = io.StringIO()
     with contextlib.redirect_stdout(buffer):
         results = module["run_demo"]()
+    output = buffer.getvalue()
     _assert_finite_fidelities(
         "calibrate_and_mitigate.py",
-        buffer.getvalue(),
+        output,
         _COVERED_BY_DEDICATED_TEST["calibrate_and_mitigate.py"],
     )
+
+    # The example ends with the engine's own metrics summary: a hit-rate
+    # line and per-stage latency quantiles, all finite.
+    hit_rate = re.search(r"hit-rate .*rate=([0-9.]+)%", output)
+    assert hit_rate is not None, f"no metrics hit-rate line in output:\n{output}"
+    assert 0.0 <= float(hit_rate.group(1)) <= 100.0
+    stage_lines = re.findall(
+        r"stage (\w+)\s+n=(\d+)\s+p50=([0-9.]+)ms p95=([0-9.]+)ms p99=([0-9.]+)ms",
+        output,
+    )
+    stages = {name for name, *_ in stage_lines}
+    assert {"prepare", "cache", "deliver"} <= stages, stages
+    for name, count, p50, p95, p99 in stage_lines:
+        assert int(count) > 0, name
+        for value in (p50, p95, p99):
+            assert math.isfinite(float(value)), (name, value)
 
     # Learned parameters reproduce the reference device (calibrated subset).
     assert results["rel_err_median_2q_channel_infidelity"] <= 0.35
