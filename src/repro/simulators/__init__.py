@@ -35,7 +35,15 @@ from .fusion import (
     DEFAULT_FUSION_MAX_QUBITS,
     FusedOperation,
     FusedProgram,
+    choose_fusion_width,
     fuse_circuit,
+)
+from .kernels import (
+    KernelPlan,
+    kernel_dispatch_counts,
+    numba_available,
+    reset_kernel_dispatch_counts,
+    resolve_backend,
 )
 from .result import ExecutionResult, FailedResult
 from .stabilizer import (
@@ -88,4 +96,10 @@ __all__ = [
     "execute",
     "DEFAULT_DENSITY_MATRIX_THRESHOLD",
     "DEFAULT_FUSION_MAX_QUBITS",
+    "choose_fusion_width",
+    "KernelPlan",
+    "kernel_dispatch_counts",
+    "reset_kernel_dispatch_counts",
+    "resolve_backend",
+    "numba_available",
 ]

@@ -141,7 +141,7 @@ def statevector_probabilities(
     state: np.ndarray, qubits: Sequence[int] | None, num_qubits: int
 ) -> np.ndarray:
     """Measurement probabilities of ``qubits`` (little-endian in the result)."""
-    probs = np.abs(state) ** 2
+    probs = _abs_squared(state)
     if qubits is None:
         return probs
     return _marginalise(probs, qubits, num_qubits)
@@ -155,13 +155,21 @@ def statevector_probabilities_batch(
     Returns a ``(T, 2**m)`` block whose row ``t`` is
     :func:`statevector_probabilities` of ``states[t]``.
     """
-    probs = np.abs(states) ** 2
+    probs = _abs_squared(states)
     if qubits is None:
         return probs
     qubits = list(qubits)
     batch = probs.shape[0]
+    axes_keep = _state_axes(qubits, num_qubits)
+    run = _consecutive_run(axes_keep)
+    if run is not None:
+        # Kept axes already form an ascending run: reshape (free on the
+        # contiguous block) and sum, skipping the full-permutation copy.
+        outer, k = run, len(qubits)
+        blocked = probs.reshape(batch, 1 << outer, 1 << k, -1)
+        return blocked.sum(axis=(1, 3))
     tensor = probs.reshape([batch] + [2] * num_qubits)
-    axes_keep = [a + 1 for a in _state_axes(qubits, num_qubits)]
+    axes_keep = [a + 1 for a in axes_keep]
     axes_other = [a for a in range(1, num_qubits + 1) if a not in axes_keep]
     permuted = np.transpose(tensor, [0] + axes_keep + axes_other)
     return np.ascontiguousarray(
@@ -179,12 +187,38 @@ def density_matrix_probabilities(
     return _marginalise(probs, qubits, num_qubits)
 
 
+def _abs_squared(values: np.ndarray) -> np.ndarray:
+    """``|values|**2`` as ``real**2 + imag**2`` — one real temporary instead of
+    the complex-magnitude round-trip (sqrt then square) of ``np.abs(x) ** 2``."""
+    re = values.real
+    im = values.imag
+    return re * re + im * im
+
+
+def _consecutive_run(axes_keep: Sequence[int]) -> int | None:
+    """If ``axes_keep`` is an ascending consecutive run ``[s, s+1, ...]``,
+    return ``s`` (the number of more-significant axes); else ``None``.
+
+    Such a run means the kept block is already contiguous in the flat
+    row-major index, so marginalising is a reshape + sum with no transpose.
+    """
+    start = axes_keep[0]
+    for offset, axis in enumerate(axes_keep):
+        if axis != start + offset:
+            return None
+    return start
+
+
 def _marginalise(probs: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
     """Marginal distribution over ``qubits``; bit ``i`` of the result index is
     ``qubits[i]`` of the full index."""
     qubits = list(qubits)
-    tensor = probs.reshape([2] * num_qubits)
     axes_keep = _state_axes(qubits, num_qubits)
+    run = _consecutive_run(axes_keep)
+    if run is not None:
+        blocked = probs.reshape(1 << run, 2 ** len(qubits), -1)
+        return blocked.sum(axis=(0, 2))
+    tensor = probs.reshape([2] * num_qubits)
     axes_other = [a for a in range(num_qubits) if a not in axes_keep]
     permuted = np.transpose(tensor, axes_keep + axes_other)
     return np.ascontiguousarray(permuted.reshape(2 ** len(qubits), -1).sum(axis=1))

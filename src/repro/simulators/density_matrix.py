@@ -21,7 +21,8 @@ from .apply import (
     density_matrix_probabilities,
     reduced_density_matrix,
 )
-from .fusion import DEFAULT_FUSION_MAX_QUBITS, fuse_circuit
+from .fusion import choose_fusion_width, fuse_circuit
+from .kernels import apply_plan_to_density_matrix, resolve_backend
 from .statevector import Statevector
 
 __all__ = ["DensityMatrix", "simulate_density_matrix", "noisy_distribution_density_matrix"]
@@ -120,7 +121,8 @@ def simulate_density_matrix(
     noise_model: NoiseModel | None = None,
     initial_state: DensityMatrix | None = None,
     fusion: bool = False,
-    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    fusion_max_qubits: int | None = None,
+    kernel_backend: str | None = None,
 ) -> DensityMatrix:
     """Run the circuit, applying the noise model's channels after each gate.
 
@@ -128,17 +130,26 @@ def simulate_density_matrix(
     matrices first (noise placement unchanged — see
     :mod:`repro.simulators.fusion`); the result is identical up to floating
     point, with fewer large conjugations on lightly-noised circuits.
+    Diagonal and permutation-structured blocks conjugate through the kernel
+    tier's specialized fast paths (:mod:`repro.simulators.kernels`); dense
+    blocks keep the generic two-sided tensordot conjugation.
     """
     noise_model = noise_model or NoiseModel.ideal()
     state = initial_state or DensityMatrix.zero_state(circuit.num_qubits)
     if state.num_qubits != circuit.num_qubits:
         raise ValueError("initial state width does not match the circuit")
     rho = state.data
-    program = fuse_circuit(
-        circuit, noise_model, max_qubits=fusion_max_qubits if fusion else 0
-    )
+    backend = resolve_backend(kernel_backend)
+    width = choose_fusion_width(circuit.num_qubits, 1, fusion_max_qubits)
+    program = fuse_circuit(circuit, noise_model, max_qubits=width if fusion else 0)
     for op in program.operations:
-        rho = apply_matrix_to_density_matrix(rho, op.matrix, op.qubits, circuit.num_qubits)
+        fast = apply_plan_to_density_matrix(rho, op.kernel, backend)
+        if fast is not None:
+            rho = fast
+        else:
+            rho = apply_matrix_to_density_matrix(
+                rho, op.matrix, op.qubits, circuit.num_qubits
+            )
         for channel, qubits in op.sites:
             depolarizing = channel.uniform_depolarizing_probability()
             if depolarizing is not None:
@@ -157,7 +168,8 @@ def noisy_distribution_density_matrix(
     noise_model: NoiseModel | None = None,
     initial_state: DensityMatrix | None = None,
     fusion: bool = False,
-    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    fusion_max_qubits: int | None = None,
+    kernel_backend: str | None = None,
 ) -> tuple[ProbabilityDistribution, list[int]]:
     """Exact noisy output distribution over the measured clbits.
 
@@ -168,7 +180,12 @@ def noisy_distribution_density_matrix(
     """
     noise_model = noise_model or NoiseModel.ideal()
     state = simulate_density_matrix(
-        circuit, noise_model, initial_state, fusion=fusion, fusion_max_qubits=fusion_max_qubits
+        circuit,
+        noise_model,
+        initial_state,
+        fusion=fusion,
+        fusion_max_qubits=fusion_max_qubits,
+        kernel_backend=kernel_backend,
     )
     qubits = circuit.measurement_layout()
     distribution = state.probability_distribution(qubits)

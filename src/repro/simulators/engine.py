@@ -71,7 +71,8 @@ from .faults import (
     apply_injected_directive,
     fault_annotation,
 )
-from .fusion import DEFAULT_FUSION_MAX_QUBITS
+from .fusion import DEFAULT_FUSION_MAX_QUBITS  # noqa: F401  (re-exported knob)
+from .kernels import kernel_dispatch_counts, resolve_backend
 from .parallel import (
     DEFAULT_TRAJECTORY_SHOTS,
     CompactTask,
@@ -312,6 +313,19 @@ class ExecutionEngine:
         ``fusion_max_qubits`` wires into single matrices before simulating
         (:mod:`repro.simulators.fusion`).  Noise placement is unchanged.
         Overridable per call via :meth:`execute_many`.
+    fusion_max_qubits:
+        Fused-block width cap.  ``None`` (default) lets
+        :func:`~repro.simulators.fusion.choose_fusion_width` size blocks
+        per program from batch size and circuit width; an explicit integer
+        pins the width for every request.
+    kernel_backend:
+        Kernel tier for classified fused blocks
+        (:mod:`repro.simulators.kernels`): ``"numpy"`` (specialized
+        vectorized kernels), ``"numba"`` (JIT, transparent numpy fallback
+        when unavailable), ``"generic"`` (force the tensordot reference
+        path) or ``"auto"``.  ``None`` reads ``REPRO_KERNEL_BACKEND``.
+        The resolved backend is part of sampled and statevector cache keys
+        and is stamped into trace events.
     workers:
         Process count for sharding :meth:`execute_many` batches across a
         :class:`~repro.simulators.parallel.ParallelSharder` pool.  ``None``
@@ -388,7 +402,8 @@ class ExecutionEngine:
         cache_size: int = 32768,
         compact: bool = True,
         fusion: bool = True,
-        fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+        fusion_max_qubits: int | None = None,
+        kernel_backend: str | None = None,
         workers: int | None = None,
         chunk_size: int | None = None,
         cache_dir: str | None = None,
@@ -415,7 +430,12 @@ class ExecutionEngine:
         self.cache_size = int(cache_size)
         self.compact = bool(compact)
         self.fusion = bool(fusion)
-        self.fusion_max_qubits = int(fusion_max_qubits)
+        self.fusion_max_qubits = (
+            int(fusion_max_qubits) if fusion_max_qubits is not None else None
+        )
+        # Resolved once: every task this engine dispatches (in-process or
+        # pool) runs the same kernel tier, and the cache keys below carry it.
+        self.kernel_backend = resolve_backend(kernel_backend)
         self.workers = int(workers) if workers is not None else None
         self.chunk_size = chunk_size
         self.retry_policy = retry_policy or RetryPolicy()
@@ -1062,6 +1082,21 @@ class ExecutionEngine:
                 "repro_metrics_write_errors_total",
                 "Metrics snapshots that failed to persist (write-never-raises).",
             ).set(self._metrics_store.write_errors)
+        # Kernel-tier dispatch accounting, bridged from the plain-int
+        # counters the hot loop increments (repro.simulators.kernels); the
+        # backend gauge attributes any BENCH drift to kernel routing.
+        dispatch = registry.counter(
+            "repro_kernel_dispatch_total",
+            "Fused-block applications by kernel kind, bridged from the dispatch tier.",
+            labelnames=("kind",),
+        )
+        for kind, count in kernel_dispatch_counts().items():
+            dispatch.labels(kind=kind).set(count)
+        registry.gauge(
+            "repro_kernel_backend",
+            "1 for this engine's resolved kernel backend.",
+            labelnames=("backend",),
+        ).labels(backend=self.kernel_backend).set(1)
 
     def _flush_metrics(self) -> None:
         """Snapshot the registry to the metrics store (never raises)."""
@@ -1432,6 +1467,7 @@ class ExecutionEngine:
             max_trajectories=max_trajectories,
             fusion=request.fusion,
             fusion_max_qubits=self.fusion_max_qubits,
+            kernel_backend=self.kernel_backend,
             fingerprint=request.fingerprint,
             trace_id=tracer.current_trace_id if tracer is not None else None,
         )
@@ -1580,18 +1616,28 @@ class ExecutionEngine:
             if sampled and shots is None:
                 key_shots = DEFAULT_TRAJECTORY_SHOTS
             # The trajectory RNG stream depends on the fused program (draws
-            # are consumed in program order), so fusion settings are part of
-            # the identity of a sampled result.  Exact methods are
-            # fusion-invariant and share cache lines across settings; the
-            # stabilizer backend ignores fusion entirely (tableaus need the
-            # raw gate names), so its keys do too.  The ``resolved`` method
-            # string is the backend tag that keeps stabilizer and dense
-            # entries for one circuit from ever colliding.
-            key_fusion = (
-                (fusion, self.fusion_max_qubits if fusion else None)
-                if resolved == "trajectory"
-                else None
-            )
+            # are consumed in program order), so fusion settings — including
+            # the width spec (None = cost-model auto, itself a deterministic
+            # function of the other key components) and the kernel backend
+            # (backends agree only to a few ulp, enough to flip a sampled
+            # outcome near a CDF boundary) — are part of the identity of a
+            # sampled result.  Statevector results are deterministic but
+            # keyed by backend for the same ulp reason; density-matrix keys
+            # carry it on the dm-state key instead (readout factoring), and
+            # the stabilizer backend ignores fusion and kernels entirely
+            # (tableaus need the raw gate names), so its keys do too.  The
+            # ``resolved`` method string is the backend tag that keeps
+            # stabilizer and dense entries for one circuit from colliding.
+            if resolved == "trajectory":
+                key_fusion = (
+                    fusion,
+                    self.fusion_max_qubits if fusion else None,
+                    self.kernel_backend,
+                )
+            elif resolved == "statevector":
+                key_fusion = (self.kernel_backend,)
+            else:
+                key_fusion = None
             # The trailing device component keeps device-compiled and plain
             # logical submissions apart even in the (identity-compile) case
             # where the physical circuit's structure equals the logical one.
@@ -1683,6 +1729,7 @@ class ExecutionEngine:
             "fingerprint": request.fingerprint,
             "resolved": request.method,
             "location": "in-process" if first_fault is None else "pool-recovery",
+            "kernel_backend": self.kernel_backend,
         }
         try:
             result = self._execute_with_policy_impl(request, shots, max_trajectories, first_fault)
@@ -1887,7 +1934,7 @@ class ExecutionEngine:
         serves unseeded requests too.
         """
         gate_noise, gate_fingerprint = self._gate_noise_for(request.noise)
-        state_key = ("dm-state", request.fingerprint, gate_fingerprint)
+        state_key = ("dm-state", request.fingerprint, gate_fingerprint, self.kernel_backend)
         cached = self._cache_get(state_key)
         if cached is None:
             distribution, measured_qubits = noisy_distribution_density_matrix(
@@ -1895,6 +1942,7 @@ class ExecutionEngine:
                 gate_noise,
                 fusion=request.fusion,
                 fusion_max_qubits=self.fusion_max_qubits,
+                kernel_backend=self.kernel_backend,
             )
             self._cache_put(state_key, (distribution, measured_qubits))
         else:

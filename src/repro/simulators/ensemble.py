@@ -39,7 +39,8 @@ from ..circuits import QuantumCircuit
 from ..distributions import Counts
 from ..noise import NoiseModel
 from .apply import apply_matrix_to_statevector_batch, statevector_probabilities_batch
-from .fusion import DEFAULT_FUSION_MAX_QUBITS, fuse_circuit
+from .fusion import choose_fusion_width, fuse_circuit
+from .kernels import apply_fused_operation, resolve_backend
 from .trajectory import (
     _apply_channel_stochastically,
     _counts_from_outcomes,
@@ -59,8 +60,9 @@ def simulate_trajectories_ensemble(
     seed: int | None = None,
     max_trajectories: int = 600,
     fusion: bool = True,
-    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    fusion_max_qubits: int | None = None,
     max_batch_elements: int = DEFAULT_MAX_BATCH_ELEMENTS,
+    kernel_backend: str | None = None,
 ) -> tuple[Counts, list[int]]:
     """Sample ``shots`` noisy measurement outcomes from a trajectory ensemble.
 
@@ -68,7 +70,11 @@ def simulate_trajectories_ensemble(
     :func:`~repro.simulators.trajectory.simulate_trajectories`; see the
     module docstring for how the inner loops differ.  ``fusion=False`` runs
     the exact gate-by-gate program (one block per gate), which is the
-    like-for-like baseline for the fused path.
+    like-for-like baseline for the fused path.  ``fusion_max_qubits=None``
+    lets :func:`~repro.simulators.fusion.choose_fusion_width` size blocks
+    from the trajectory batch; ``kernel_backend`` routes classified blocks
+    (see :mod:`repro.simulators.kernels`; ``None`` reads
+    ``REPRO_KERNEL_BACKEND``).
     """
     noise_model = noise_model or NoiseModel.ideal()
     rng = np.random.default_rng(seed)
@@ -78,17 +84,17 @@ def simulate_trajectories_ensemble(
     )
     shots_per_trajectory = np.asarray(shots_per_trajectory)
 
-    program = fuse_circuit(
-        circuit, noise_model, max_qubits=fusion_max_qubits if fusion else 0
-    )
     num_qubits = circuit.num_qubits
+    backend = resolve_backend(kernel_backend)
+    width = choose_fusion_width(num_qubits, num_trajectories, fusion_max_qubits)
+    program = fuse_circuit(circuit, noise_model, max_qubits=width if fusion else 0)
     dim = 2**num_qubits
     chunk_size = max(1, min(num_trajectories, max_batch_elements // dim))
 
     all_outcomes: list[np.ndarray] = []
     for start in range(0, num_trajectories, chunk_size):
         chunk_shots = shots_per_trajectory[start : start + chunk_size]
-        states = _evolve_ensemble(program, len(chunk_shots), num_qubits, rng)
+        states = _evolve_ensemble(program, len(chunk_shots), num_qubits, rng, backend)
         probs = statevector_probabilities_batch(states, measured_qubits, num_qubits)
         probs = np.clip(probs, 0.0, None)
         probs /= probs.sum(axis=1, keepdims=True)
@@ -97,12 +103,24 @@ def simulate_trajectories_ensemble(
     return _counts_from_outcomes(all_outcomes, noise_model, measured_qubits, rng), measured_qubits
 
 
-def _evolve_ensemble(program, batch: int, num_qubits: int, rng) -> np.ndarray:
-    """Run ``batch`` independent noise realisations through a fused program."""
+def _evolve_ensemble(
+    program, batch: int, num_qubits: int, rng, backend: str = "numpy"
+) -> np.ndarray:
+    """Run ``batch`` independent noise realisations through a fused program.
+
+    Fused blocks route through the kernel tier on their fusion-time
+    classification; the noise-mixture sub-batch applications below stay on
+    the generic path (they are rare, state-dependent, and keeping them off
+    the dispatch counters pins ``kernel_dispatch_counts`` to exactly one
+    increment per fused block).
+    """
     states = np.zeros((batch, 2**num_qubits), dtype=complex)
     states[:, 0] = 1.0
     for op in program.operations:
-        states = apply_matrix_to_statevector_batch(states, op.matrix, op.qubits, num_qubits)
+        states = apply_fused_operation(
+            states, op.kernel, op.matrix, op.qubits, num_qubits,
+            backend=backend, inplace=True,
+        )
         for channel, qubits in op.sites:
             mixture = channel.unitary_mixture()
             if mixture is None:

@@ -28,7 +28,6 @@ from typing import Any
 
 from ..circuits import QuantumCircuit
 from ..noise import NoiseModel
-from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .parallel import CompactTask, run_compact_task
 from .result import ExecutionResult
 from .stabilizer import is_clifford_program
@@ -47,7 +46,8 @@ def execute(
     density_matrix_threshold: int = DEFAULT_DENSITY_MATRIX_THRESHOLD,
     max_trajectories: int = 600,
     fusion: bool = True,
-    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS,
+    fusion_max_qubits: int | None = None,
+    kernel_backend: str | None = None,
     metadata: dict[str, Any] | None = None,
 ) -> ExecutionResult:
     """Run a circuit and return its measured-output distribution.
@@ -107,6 +107,7 @@ def execute(
             max_trajectories=max_trajectories,
             fusion=fusion,
             fusion_max_qubits=fusion_max_qubits,
+            kernel_backend=kernel_backend,
         )
     )
     if metadata:

@@ -1,4 +1,4 @@
-"""Gate fusion: merge runs of adjacent gates into single matrices.
+"""Gate fusion: merge runs of adjacent gates into single classified blocks.
 
 For the compacted 2-6 qubit circuits that dominate subset-tracing workloads
 the cost of a simulation step is numpy dispatch, not arithmetic, so applying
@@ -9,6 +9,25 @@ gate's noise-insertion sites *after the block that ends with that gate* —
 noise placement is therefore unchanged: a gate followed by noise always
 terminates its block, so its channels still act on exactly the state they
 would have seen gate-by-gate.
+
+Fusion runs in two passes.  Pass 1 segments the instruction stream into
+blocks — a decision that depends only on gate supports, barriers and noise
+sites, never on matrix values — and pass 2 materialises each block's matrix
+exactly once at its final support by evolving a ``2**k`` identity basis
+through the block's gates (one batched application per gate).  The earlier
+single-pass spelling re-embedded the whole accumulated matrix every time a
+new gate grew the support, which is quadratic in block length; the two-pass
+form touches each gate matrix once.
+
+Pass 2 also attaches a :class:`~repro.simulators.kernels.KernelPlan` to
+every block — the structural classification (diag / perm / dense1q /
+dense2q / generic) that routes the simulators' hot loops to specialized
+kernels with zero per-application re-analysis.
+
+Fusion *width* is chosen per program by :func:`choose_fusion_width` when the
+caller does not pin it: wide (4-5 wire) blocks amortise dispatch when the
+amplitude block ``T * 2**n`` is large, while narrow (3 wire) blocks keep
+matrices structurally classifiable when dispatch dominates.
 
 The output is a :class:`FusedProgram` — the common instruction stream
 consumed by the ensemble, single-statevector and density-matrix simulators.
@@ -26,10 +45,48 @@ import numpy as np
 from ..circuits import QuantumCircuit
 from ..noise import KrausChannel, NoiseModel
 from .apply import apply_matrix_to_statevector_batch
+from .kernels import KernelPlan, build_plan
 
-__all__ = ["FusedOperation", "FusedProgram", "fuse_circuit", "DEFAULT_FUSION_MAX_QUBITS"]
+__all__ = [
+    "FusedOperation",
+    "FusedProgram",
+    "fuse_circuit",
+    "choose_fusion_width",
+    "DEFAULT_FUSION_MAX_QUBITS",
+    "WIDE_FUSION_MAX_QUBITS",
+    "WIDE_FUSION_THRESHOLD",
+]
 
 DEFAULT_FUSION_MAX_QUBITS = 3
+
+# Cost-model constants: when the amplitude block T * 2**n meets the
+# threshold, per-block dispatch overhead is amortised over enough data that
+# wider (and denser) fused matrices win; below it, narrow blocks keep more
+# of the stream on the one-pass diag/perm kernels.
+WIDE_FUSION_MAX_QUBITS = 5
+WIDE_FUSION_THRESHOLD = 1 << 16
+
+
+def choose_fusion_width(
+    num_qubits: int,
+    batch_size: int = 1,
+    max_qubits: int | None = None,
+) -> int:
+    """Pick the fusion width for a program: explicit pin wins, else cost model.
+
+    ``max_qubits`` is the caller's explicit override (returned unchanged,
+    including ``<= 0`` meaning fusion disabled).  Otherwise the width is
+    chosen from the amplitude-block size ``batch_size * 2**num_qubits``:
+    :data:`WIDE_FUSION_MAX_QUBITS` when it reaches
+    :data:`WIDE_FUSION_THRESHOLD` (arithmetic-bound regime) and
+    :data:`DEFAULT_FUSION_MAX_QUBITS` when dispatch dominates — both capped
+    at the circuit width, since a block can never out-span the register.
+    """
+    if max_qubits is not None:
+        return max_qubits
+    if batch_size * (1 << num_qubits) >= WIDE_FUSION_THRESHOLD:
+        return max(1, min(WIDE_FUSION_MAX_QUBITS, num_qubits))
+    return max(1, min(DEFAULT_FUSION_MAX_QUBITS, num_qubits))
 
 
 @dataclasses.dataclass
@@ -40,12 +97,15 @@ class FusedOperation:
     (first wire = least significant bit), matching the convention of
     :func:`repro.simulators.apply.apply_matrix_to_statevector`.  ``sites``
     are the ``(channel, wires)`` noise insertions of the block's final gate,
-    in :meth:`~repro.noise.NoiseModel.channels_for` order.
+    in :meth:`~repro.noise.NoiseModel.channels_for` order.  ``kernel`` is
+    the block's structural classification, computed once here so the
+    simulators' hot loops never re-analyse the matrix.
     """
 
     matrix: np.ndarray
     qubits: tuple[int, ...]
     sites: list[tuple[KrausChannel, tuple[int, ...]]]
+    kernel: KernelPlan | None = None
 
 
 @dataclasses.dataclass
@@ -55,6 +115,15 @@ class FusedProgram:
     operations: list[FusedOperation]
     num_qubits: int
     num_gates: int  # gate count before fusion, for diagnostics
+
+
+@dataclasses.dataclass
+class _Segment:
+    """Pass-1 output: one block's gates and final support, matrix-free."""
+
+    gates: list  # list of circuit instructions, in order
+    support: list[int]  # sorted final wires of the block
+    sites: list[tuple[KrausChannel, tuple[int, ...]]]
 
 
 def fuse_circuit(
@@ -70,45 +139,37 @@ def fuse_circuit(
     ``max_qubits`` always forms its own block — gates are never split.
     """
     noise_model = noise_model or NoiseModel.ideal()
-    operations: list[FusedOperation] = []
-    support: list[int] = []  # sorted wires of the open block
-    matrix: np.ndarray | None = None  # open block's accumulated unitary
+
+    # Pass 1: segment the stream.  Merge decisions read only supports and
+    # noise placement, so no matrix arithmetic happens here.
+    segments: list[_Segment] = []
+    open_seg: _Segment | None = None
     num_gates = 0
 
-    def flush(sites: list[tuple[KrausChannel, tuple[int, ...]]]) -> None:
-        nonlocal support, matrix
-        if matrix is not None:
-            operations.append(FusedOperation(matrix, tuple(support), sites))
-        elif sites:  # pragma: no cover - sites only ever follow a gate
-            raise RuntimeError("noise sites with no preceding gate block")
-        support, matrix = [], None
+    def flush() -> None:
+        nonlocal open_seg
+        if open_seg is not None:
+            segments.append(open_seg)
+        open_seg = None
 
     for inst in circuit.data:
-        if inst.is_barrier:
-            flush([])
-            continue
-        if inst.is_measurement:
-            flush([])
+        if inst.is_barrier or inst.is_measurement:
+            flush()
             continue
         if not inst.is_gate:
             raise ValueError(f"cannot simulate instruction {inst.name!r}")
         num_gates += 1
         gate_support = sorted(set(inst.qubits))
-        merged = sorted(set(support) | set(gate_support))
-        if matrix is None:
-            support, matrix = gate_support, _embedded(
-                inst.operation.matrix, inst.qubits, gate_support
-            )
-        elif len(merged) <= max_qubits:
-            if merged != support:
-                matrix = _embedded(matrix, tuple(support), merged)
-                support = merged
-            matrix = _embedded(inst.operation.matrix, inst.qubits, support) @ matrix
+        if open_seg is None:
+            open_seg = _Segment([inst], gate_support, [])
         else:
-            flush([])
-            support, matrix = gate_support, _embedded(
-                inst.operation.matrix, inst.qubits, gate_support
-            )
+            merged = sorted(set(open_seg.support) | set(gate_support))
+            if len(merged) <= max_qubits:
+                open_seg.gates.append(inst)
+                open_seg.support = merged
+            else:
+                flush()
+                open_seg = _Segment([inst], gate_support, [])
         sites = [
             (channel, qubits)
             for channel, qubits in noise_model.channels_for(inst)
@@ -116,24 +177,42 @@ def fuse_circuit(
         ]
         if sites:
             # Noise must act right after this gate, so the block ends here.
-            flush(sites)
-    flush([])
+            open_seg.sites = sites
+            flush()
+    flush()
+
+    # Pass 2: build each block's matrix once, at its final support, by
+    # evolving the 2**k identity basis through the block's gates — one
+    # batched application per gate, no intermediate re-embedding.
+    operations = [
+        FusedOperation(
+            matrix := _block_matrix(seg),
+            qubits := tuple(seg.support),
+            seg.sites,
+            build_plan(matrix, qubits, circuit.num_qubits),
+        )
+        for seg in segments
+    ]
     return FusedProgram(operations, circuit.num_qubits, num_gates)
 
 
-def _embedded(
-    matrix: np.ndarray, wires: tuple[int, ...] | list[int], support: list[int]
-) -> np.ndarray:
-    """Expand ``matrix`` (little-endian in ``wires``) to act on ``support``.
+def _block_matrix(seg: _Segment) -> np.ndarray:
+    """Product of the segment's gates, little-endian in its sorted support.
 
-    ``wires`` may be in any order; ``support`` must contain them all.  The
-    result is little-endian in ``support``.  Applying the matrix to each
-    basis state of the support space yields the expanded operator's columns.
+    Row ``i`` of the evolved basis is ``(G_m ... G_1)|i>`` — column ``i`` of
+    the block matrix — so the transpose is the product.  A single-gate
+    segment reduces to the exact embedding arithmetic of the previous
+    implementation (identity basis through one batched application).
     """
-    if list(wires) == support:
-        return matrix
+    support = seg.support
     k = len(support)
-    positions = tuple(support.index(q) for q in wires)
+    first = seg.gates[0]
+    if len(seg.gates) == 1 and list(first.qubits) == support:
+        return first.operation.matrix
     basis = np.eye(2**k, dtype=complex)
-    # Row i of the result is M|i>, i.e. column i of the expanded operator.
-    return apply_matrix_to_statevector_batch(basis, matrix, positions, k).T
+    for inst in seg.gates:
+        positions = tuple(support.index(q) for q in inst.qubits)
+        basis = apply_matrix_to_statevector_batch(
+            basis, inst.operation.matrix, positions, k
+        )
+    return basis.T

@@ -1,0 +1,494 @@
+"""Specialized dense gate kernels: structural classification + pluggable backends.
+
+The generic dense path (:func:`repro.simulators.apply.apply_matrix_to_statevector_batch`)
+treats every fused block as an arbitrary ``2**k x 2**k`` matrix: reshape,
+``np.tensordot``, ``moveaxis``, ``ascontiguousarray`` — three full passes
+over the ``(T, 2**n)`` amplitude block plus a small-M GEMM, regardless of
+what the matrix actually *is*.  For the compacted 2-7 qubit circuits of
+subset-tracing workloads most fused blocks are structurally trivial:
+
+* **diag** — products of Z/S/T/RZ/CZ-type gates are diagonal; applying one
+  is an elementwise multiply by a precomputed ``2**n`` phase vector (one
+  pass, ~10x the generic path on the ensemble workload).
+* **perm** — products of X/Y/CX/SWAP/CZ chains are *generalized
+  permutations* (exactly one nonzero per row and column); applying one is a
+  single precomputed fancy-index gather, plus a phase multiply when any
+  entry is not exactly 1.
+* **dense1q / dense2q** — genuinely dense 1-2 qubit blocks are applied with
+  axis-aligned elementwise kernels over bit-strided views, skipping the
+  tensordot round-trip's transpose copies.
+* **generic** — everything else (3+ qubit dense blocks) falls back to the
+  always-correct tensordot path.
+
+Classification happens **once per fused block at fusion time**
+(:func:`repro.simulators.fusion.fuse_circuit` attaches a :class:`KernelPlan`
+to every ``FusedOperation``), so the per-gate hot loop does zero
+re-analysis; the plan lazily caches its full-index phase/gather vectors on
+first application.
+
+Backends
+--------
+``REPRO_KERNEL_BACKEND`` (or the ``kernel_backend=`` knob on
+:class:`~repro.simulators.engine.ExecutionEngine` and the simulator entry
+points) selects how classified kernels execute:
+
+* ``"numpy"`` (default) — vectorized numpy kernels as described above.
+* ``"numba"`` — JIT-compiled kernels for every specialized kind (guarded
+  import; falls back to ``"numpy"`` transparently when numba is not
+  installed).  Compilation is warmed up once per process on first use.
+* ``"generic"`` — force every block through the tensordot reference path
+  (the control arm of the kernel-tier benchmarks).
+* ``"auto"`` — ``"numba"`` when importable, else ``"numpy"``.
+
+Equivalence contract
+--------------------
+Every specialized kernel computes the same contraction as the generic
+tensordot reference.  Agreement is **bit-identical** whenever the block's
+entries make the arithmetic exact — permutation/diagonal entries in
+``{0, ±1, ±i}``, i.e. X/Y/Z/S/CX/CZ/SWAP chains — and bounded by a few ulp
+per amplitude otherwise (BLAS contracts multiply-adds with FMA; elementwise
+numpy/numba kernels round products individually).  The differential suite
+(``tests/test_kernels.py``) pins both halves of this contract, and the
+engine keys sampled/statevector cache entries by the backend so results
+produced under different kernel routings never share a cache line.
+
+Dispatch accounting
+-------------------
+``kernel_dispatch_counts()`` exposes per-kind counters incremented inside
+:func:`apply_fused_operation` itself — the hot loop, not a parallel
+bookkeeping path.  The engine bridges them into the metrics registry as
+``repro_kernel_dispatch_total{kind=...}`` and stamps the effective backend
+into trace events, so a BENCH regression can be attributed to kernel
+routing.  Counters are per-process (pool workers count in their own
+process, like every other hot-path tally).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Sequence
+
+import numpy as np
+
+from .apply import apply_matrix_to_statevector_batch
+
+__all__ = [
+    "KernelPlan",
+    "classify_matrix",
+    "build_plan",
+    "apply_fused_operation",
+    "apply_plan_to_density_matrix",
+    "resolve_backend",
+    "numba_available",
+    "kernel_dispatch_counts",
+    "reset_kernel_dispatch_counts",
+    "KERNEL_KINDS",
+    "KERNEL_BACKEND_ENV",
+]
+
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+KERNEL_KINDS = ("diag", "perm", "dense1q", "dense2q", "generic")
+_BACKEND_NAMES = ("auto", "numpy", "numba", "generic")
+
+# Tolerance-free classification: an entry is "zero" only when it is exactly
+# zero.  Gate matrices and their products are built from exact literals and
+# rounded arithmetic — a dense block never has exactly-zero off-diagonals by
+# accident, and an exact test keeps the specialized kernels bit-compatible
+# with the tensordot reference (0 * x contributes exactly nothing).
+
+_dispatch_counts: dict[str, int] = {kind: 0 for kind in KERNEL_KINDS}
+
+
+def kernel_dispatch_counts() -> dict[str, int]:
+    """Snapshot of per-kind kernel dispatches in this process (hot-loop tally)."""
+    return dict(_dispatch_counts)
+
+
+def reset_kernel_dispatch_counts() -> None:
+    for kind in KERNEL_KINDS:
+        _dispatch_counts[kind] = 0
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+_numba_checked = False
+_numba_module = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba JIT backend can be imported."""
+    global _numba_checked, _numba_module
+    if not _numba_checked:
+        _numba_checked = True
+        try:  # guarded optional dependency — never required
+            import numba  # type: ignore
+
+            _numba_module = numba
+        except Exception:
+            _numba_module = None
+    return _numba_module is not None
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend request to the effective backend for this process.
+
+    ``None`` reads ``REPRO_KERNEL_BACKEND`` (default ``"numpy"``).
+    ``"numba"`` and ``"auto"`` degrade to ``"numpy"`` transparently when
+    numba is not importable — the caller never has to care.
+    """
+    if name is None:
+        name = os.environ.get(KERNEL_BACKEND_ENV) or "numpy"
+    name = name.lower()
+    if name not in _BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {_BACKEND_NAMES}"
+        )
+    if name == "auto":
+        name = "numba" if numba_available() else "numpy"
+    elif name == "numba" and not numba_available():
+        name = "numpy"
+    return name
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class KernelPlan:
+    """Structural classification of one fused block, computed once at fusion.
+
+    ``kind`` routes the hot loop; the ``diag``/``perm`` payloads are in the
+    block's ``2**k`` subspace (little-endian in the block's sorted wire
+    tuple) and the full-dimension phase/gather vectors are derived lazily on
+    first application and cached — a program that is fused but never run
+    (e.g. only inspected) pays nothing beyond classification.
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    matrix: np.ndarray
+    num_qubits: int
+    # diag payload: the 2**k diagonal.
+    diag: np.ndarray | None = None
+    # perm payload: column index of the single nonzero per row, and the
+    # nonzero values themselves (phases).
+    perm: np.ndarray | None = None
+    phases: np.ndarray | None = None
+    trivial_phases: bool = False  # all phases exactly 1 -> pure gather
+    # Lazy full-dimension caches (2**num_qubits):
+    _phase_full: np.ndarray | None = dataclasses.field(default=None, repr=False)
+    _source_full: np.ndarray | None = dataclasses.field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Lazy full-index payloads
+    # ------------------------------------------------------------------
+
+    def _sub_index(self) -> np.ndarray:
+        """Little-endian block sub-index of every full basis state."""
+        full = np.arange(2**self.num_qubits, dtype=np.intp)
+        sub = np.zeros(2**self.num_qubits, dtype=np.intp)
+        for j, q in enumerate(self.qubits):
+            sub |= ((full >> q) & 1) << j
+        return sub
+
+    def phase_full(self) -> np.ndarray:
+        """``2**n`` phase vector: entry ``i`` scales amplitude ``i``."""
+        if self._phase_full is None:
+            values = self.diag if self.kind == "diag" else self.phases
+            self._phase_full = values[self._sub_index()]
+        return self._phase_full
+
+    def source_full(self) -> np.ndarray:
+        """``2**n`` gather vector: output amplitude ``i`` reads input ``source[i]``.
+
+        ``matrix[r, perm[r]]`` is the only nonzero of row ``r``, so output
+        sub-index ``r`` reads input sub-index ``perm[r]``; the non-block
+        bits pass through unchanged.
+        """
+        if self._source_full is None:
+            full = np.arange(2**self.num_qubits, dtype=np.intp)
+            sub = self._sub_index()
+            src_sub = self.perm[sub]
+            source = full.copy()
+            for j, q in enumerate(self.qubits):
+                source &= ~(np.intp(1) << q)
+                source |= ((src_sub >> j) & 1) << q
+            self._source_full = source
+        return self._source_full
+
+
+def classify_matrix(matrix: np.ndarray) -> str:
+    """Structural kind of a block matrix: diag / perm / dense1q / dense2q / generic."""
+    dim = matrix.shape[0]
+    if np.count_nonzero(matrix - np.diag(np.diagonal(matrix))) == 0:
+        return "diag"
+    nonzero = matrix != 0
+    if (nonzero.sum(axis=0) == 1).all() and (nonzero.sum(axis=1) == 1).all():
+        return "perm"
+    if dim == 2:
+        return "dense1q"
+    if dim == 4:
+        return "dense2q"
+    return "generic"
+
+
+def build_plan(
+    matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> KernelPlan:
+    """Classify one fused block and precompute its kernel payload."""
+    qubits = tuple(qubits)
+    kind = classify_matrix(matrix)
+    plan = KernelPlan(kind=kind, qubits=qubits, matrix=matrix, num_qubits=num_qubits)
+    if kind == "diag":
+        plan.diag = np.ascontiguousarray(np.diagonal(matrix))
+    elif kind == "perm":
+        # Exactly one nonzero per row, so the first nonzero column is it.
+        perm = (matrix != 0).argmax(axis=1)
+        plan.perm = perm.astype(np.intp)
+        plan.phases = np.ascontiguousarray(matrix[np.arange(matrix.shape[0]), perm])
+        plan.trivial_phases = bool(np.all(plan.phases == 1.0))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# numpy kernels — operate on a C-contiguous (B, 2**n) amplitude block
+# ----------------------------------------------------------------------
+
+
+def _np_diag(states: np.ndarray, plan: KernelPlan, inplace: bool) -> np.ndarray:
+    phase = plan.phase_full()
+    if inplace:
+        states *= phase
+        return states
+    return states * phase
+
+
+def _np_perm(states: np.ndarray, plan: KernelPlan) -> np.ndarray:
+    out = states[:, plan.source_full()]
+    if not plan.trivial_phases:
+        out *= plan.phase_full()
+    return out
+
+
+def _np_dense1q(states: np.ndarray, plan: KernelPlan) -> np.ndarray:
+    (q,) = plan.qubits
+    m = plan.matrix
+    batch, dim = states.shape
+    view = states.reshape(batch, dim >> (q + 1), 2, 1 << q)
+    lo, hi = view[:, :, 0, :], view[:, :, 1, :]
+    out = np.empty_like(view)
+    np.multiply(lo, m[0, 0], out=out[:, :, 0, :])
+    out[:, :, 0, :] += m[0, 1] * hi
+    np.multiply(lo, m[1, 0], out=out[:, :, 1, :])
+    out[:, :, 1, :] += m[1, 1] * hi
+    return out.reshape(batch, dim)
+
+
+def _np_dense2q(states: np.ndarray, plan: KernelPlan) -> np.ndarray:
+    q1, q2 = plan.qubits  # sorted ascending by the fusion layer
+    m = plan.matrix
+    batch, dim = states.shape
+    mid = 1 << (q2 - q1 - 1)
+    view = states.reshape(batch * (dim >> (q2 + 1)), 2, mid, 2, 1 << q1)
+    sub = [view[:, j >> 1, :, j & 1, :] for j in range(4)]
+    out = np.empty_like(view)
+    for i in range(4):
+        target = out[:, i >> 1, :, i & 1, :]
+        np.multiply(sub[0], m[i, 0], out=target)
+        for j in range(1, 4):
+            target += m[i, j] * sub[j]
+    return out.reshape(batch, dim)
+
+
+def _np_generic(states: np.ndarray, plan: KernelPlan) -> np.ndarray:
+    return apply_matrix_to_statevector_batch(
+        states, plan.matrix, plan.qubits, plan.num_qubits
+    )
+
+
+# ----------------------------------------------------------------------
+# numba kernels (optional) — same arithmetic as the numpy kernels, fused
+# into single compiled passes; lazily compiled and cached per process.
+# ----------------------------------------------------------------------
+
+_numba_kernels: dict[str, object] | None = None
+
+
+def _get_numba_kernels() -> dict[str, object] | None:
+    """Compile (once per process) and return the JIT kernel table."""
+    global _numba_kernels
+    if _numba_kernels is not None:
+        return _numba_kernels
+    if not numba_available():
+        return None
+    numba = _numba_module
+    njit = numba.njit(cache=False, fastmath=False)
+
+    @njit
+    def diag_kernel(states, phase, out):  # pragma: no cover - compiled
+        batch, dim = states.shape
+        for t in range(batch):
+            for i in range(dim):
+                out[t, i] = states[t, i] * phase[i]
+
+    @njit
+    def perm_kernel(states, source, phase, trivial, out):  # pragma: no cover
+        batch, dim = states.shape
+        for t in range(batch):
+            if trivial:
+                for i in range(dim):
+                    out[t, i] = states[t, source[i]]
+            else:
+                for i in range(dim):
+                    out[t, i] = states[t, source[i]] * phase[i]
+
+    @njit
+    def dense1q_kernel(states, m, q, out):  # pragma: no cover - compiled
+        batch, dim = states.shape
+        stride = 1 << q
+        m00, m01, m10, m11 = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
+        for t in range(batch):
+            for base in range(0, dim, stride << 1):
+                for offset in range(stride):
+                    i0 = base + offset
+                    i1 = i0 + stride
+                    a = states[t, i0]
+                    b = states[t, i1]
+                    out[t, i0] = m00 * a + m01 * b
+                    out[t, i1] = m10 * a + m11 * b
+
+    @njit
+    def dense2q_kernel(states, m, q1, q2, out):  # pragma: no cover - compiled
+        batch, dim = states.shape
+        s1 = 1 << q1
+        s2 = 1 << q2
+        for t in range(batch):
+            for i in range(dim):
+                if (i & s1) or (i & s2):
+                    continue
+                i0 = i
+                i1 = i | s1
+                i2 = i | s2
+                i3 = i | s1 | s2
+                a = states[t, i0]
+                b = states[t, i1]
+                c = states[t, i2]
+                d = states[t, i3]
+                out[t, i0] = m[0, 0] * a + m[0, 1] * b + m[0, 2] * c + m[0, 3] * d
+                out[t, i1] = m[1, 0] * a + m[1, 1] * b + m[1, 2] * c + m[1, 3] * d
+                out[t, i2] = m[2, 0] * a + m[2, 1] * b + m[2, 2] * c + m[2, 3] * d
+                out[t, i3] = m[3, 0] * a + m[3, 1] * b + m[3, 2] * c + m[3, 3] * d
+
+    kernels = {
+        "diag": diag_kernel,
+        "perm": perm_kernel,
+        "dense1q": dense1q_kernel,
+        "dense2q": dense2q_kernel,
+    }
+    # Warm-up: trigger compilation on a minimal block so the first real
+    # dispatch (possibly inside a timed benchmark) pays no JIT latency.
+    tiny = np.zeros((1, 2), dtype=complex)
+    out = np.empty_like(tiny)
+    diag_kernel(tiny, np.ones(2, dtype=complex), out)
+    perm_kernel(tiny, np.zeros(2, dtype=np.intp), np.ones(2, dtype=complex), True, out)
+    dense1q_kernel(tiny, np.eye(2, dtype=complex), 0, out)
+    dense2q_kernel(
+        np.zeros((1, 4), dtype=complex), np.eye(4, dtype=complex), 0, 1,
+        np.empty((1, 4), dtype=complex),
+    )
+    _numba_kernels = kernels
+    return kernels
+
+
+def _nb_apply(states: np.ndarray, plan: KernelPlan) -> np.ndarray:
+    kernels = _get_numba_kernels()
+    states = np.ascontiguousarray(states)
+    out = np.empty_like(states)
+    if plan.kind == "diag":
+        kernels["diag"](states, plan.phase_full(), out)
+    elif plan.kind == "perm":
+        kernels["perm"](
+            states, plan.source_full(), plan.phase_full(), plan.trivial_phases, out
+        )
+    elif plan.kind == "dense1q":
+        kernels["dense1q"](states, np.ascontiguousarray(plan.matrix), plan.qubits[0], out)
+    else:  # dense2q
+        kernels["dense2q"](
+            states, np.ascontiguousarray(plan.matrix), plan.qubits[0], plan.qubits[1], out
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+def apply_fused_operation(
+    states: np.ndarray,
+    plan: KernelPlan | None,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+    backend: str = "numpy",
+    inplace: bool = False,
+) -> np.ndarray:
+    """Apply one fused block to a ``(B, 2**n)`` amplitude batch.
+
+    The single hot-loop entry point of the dense tier: routes on the plan's
+    precomputed ``kind`` (zero re-analysis), counts the dispatch, and falls
+    back to the generic tensordot path for unclassified blocks or the
+    ``"generic"`` backend.  ``inplace=True`` lets the diag kernel scale the
+    caller-owned buffer without allocating.
+    """
+    if plan is None or backend == "generic":
+        _dispatch_counts["generic"] += 1
+        return apply_matrix_to_statevector_batch(states, matrix, qubits, num_qubits)
+    kind = plan.kind
+    _dispatch_counts[kind] += 1
+    if kind == "generic":
+        return _np_generic(states, plan)
+    if backend == "numba":
+        kernels = _get_numba_kernels()
+        if kernels is not None:
+            return _nb_apply(states, plan)
+    if kind == "diag":
+        return _np_diag(states, plan, inplace)
+    if kind == "perm":
+        return _np_perm(states, plan)
+    if kind == "dense1q":
+        return _np_dense1q(states, plan)
+    return _np_dense2q(states, plan)
+
+
+def apply_plan_to_density_matrix(
+    rho: np.ndarray, plan: KernelPlan | None, backend: str = "numpy"
+) -> np.ndarray | None:
+    """Specialized ``M rho M^dagger`` for diag/perm blocks; ``None`` = no fast path.
+
+    A diagonal block conjugates as an elementwise outer phase scaling
+    (``rho_ij -> d_i rho_ij conj(d_j)``) and a generalized permutation as a
+    row+column gather — both one or two passes instead of two tensordot
+    round-trips over the ``4**n`` matrix.  Dense blocks return ``None`` and
+    the caller keeps the generic conjugation.
+    """
+    if plan is None or backend == "generic":
+        return None
+    if plan.kind == "diag":
+        _dispatch_counts["diag"] += 1
+        phase = plan.phase_full()
+        return rho * np.outer(phase, phase.conj())
+    if plan.kind == "perm":
+        _dispatch_counts["perm"] += 1
+        source = plan.source_full()
+        out = rho[np.ix_(source, source)]
+        if not plan.trivial_phases:
+            phase = plan.phase_full()
+            out *= np.outer(phase, phase.conj())
+        return out
+    return None

@@ -89,7 +89,6 @@ from .faults import (
     fault_from_marker,
     marker_from_exception,
 )
-from .fusion import DEFAULT_FUSION_MAX_QUBITS
 from .result import ExecutionResult
 from .stabilizer import simulate_stabilizer_trajectories
 from .statevector import ideal_distribution
@@ -141,7 +140,14 @@ class CompactTask:
     seed: int | None
     max_trajectories: int
     fusion: bool
-    fusion_max_qubits: int = DEFAULT_FUSION_MAX_QUBITS
+    # None lets fusion.choose_fusion_width size blocks per program; the
+    # resolution happens inside the simulator entry points, so serial and
+    # pool executions of one task fuse — and therefore sample — identically.
+    fusion_max_qubits: int | None = None
+    # Kernel tier for classified fused blocks (repro.simulators.kernels).
+    # Carried pre-resolved by the engine; None re-resolves from the
+    # environment (standalone task construction).
+    kernel_backend: str | None = None
     fingerprint: str | None = None
     # Trace propagation across the pool boundary: when the dispatching
     # engine has an open trace, its ID rides along and the execution site
@@ -170,6 +176,7 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
             max_trajectories=task.max_trajectories,
             fusion=task.fusion,
             fusion_max_qubits=task.fusion_max_qubits,
+            kernel_backend=task.kernel_backend,
         )
         return ExecutionResult(
             distribution=counts.to_distribution(),
@@ -184,6 +191,7 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
             task.noise,
             fusion=task.fusion,
             fusion_max_qubits=task.fusion_max_qubits,
+            kernel_backend=task.kernel_backend,
         )
         result = ExecutionResult(
             distribution=distribution,
@@ -200,7 +208,7 @@ def run_compact_task(task: CompactTask) -> ExecutionResult:
     if task.method == "statevector":
         if not task.noise.is_ideal:
             raise ValueError("the statevector method cannot apply noise")
-        distribution = ideal_distribution(task.circuit)
+        distribution = ideal_distribution(task.circuit, kernel_backend=task.kernel_backend)
         result = ExecutionResult(
             distribution=distribution,
             measured_qubits=task.circuit.measurement_layout(),

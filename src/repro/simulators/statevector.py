@@ -61,16 +61,28 @@ class Statevector:
         new_data = apply_matrix_to_statevector(self.data, matrix, qubits, self.num_qubits)
         return Statevector(new_data, self.num_qubits)
 
-    def evolve_circuit(self, circuit: QuantumCircuit, fusion: bool = False) -> "Statevector":
-        from .fusion import DEFAULT_FUSION_MAX_QUBITS, fuse_circuit
+    def evolve_circuit(
+        self,
+        circuit: QuantumCircuit,
+        fusion: bool = False,
+        fusion_max_qubits: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> "Statevector":
+        from .fusion import choose_fusion_width, fuse_circuit
+        from .kernels import apply_fused_operation, resolve_backend
 
-        program = fuse_circuit(
-            circuit, max_qubits=DEFAULT_FUSION_MAX_QUBITS if fusion else 0
-        )
-        state = self.data
+        width = choose_fusion_width(self.num_qubits, 1, fusion_max_qubits)
+        program = fuse_circuit(circuit, max_qubits=width if fusion else 0)
+        backend = resolve_backend(kernel_backend)
+        # The kernel tier operates on (B, 2**n) blocks; a single state rides
+        # as a one-row batch (free reshape both ways).
+        states = self.data[np.newaxis, :]
         for op in program.operations:
-            state = apply_matrix_to_statevector(state, op.matrix, op.qubits, self.num_qubits)
-        return Statevector(state, self.num_qubits)
+            states = apply_fused_operation(
+                states, op.kernel, op.matrix, op.qubits, self.num_qubits,
+                backend=backend,
+            )
+        return Statevector(states[0], self.num_qubits)
 
     def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
         return statevector_probabilities(self.data, qubits, self.num_qubits)
@@ -115,19 +127,24 @@ def simulate_statevector(
     circuit: QuantumCircuit,
     initial_state: Statevector | None = None,
     fusion: bool = False,
+    kernel_backend: str | None = None,
 ) -> Statevector:
     """Run ``circuit`` without noise and return the final statevector.
 
     ``fusion=True`` merges runs of adjacent gates into single matrices first
     (:mod:`repro.simulators.fusion`); identical result up to floating point.
+    ``kernel_backend`` routes fused blocks through the specialized kernel
+    tier (:mod:`repro.simulators.kernels`).
     """
     state = initial_state or Statevector.zero_state(circuit.num_qubits)
     if state.num_qubits != circuit.num_qubits:
         raise ValueError("initial state width does not match the circuit")
-    return state.evolve_circuit(circuit, fusion=fusion)
+    return state.evolve_circuit(circuit, fusion=fusion, kernel_backend=kernel_backend)
 
 
-def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
+def ideal_distribution(
+    circuit: QuantumCircuit, kernel_backend: str | None = None
+) -> ProbabilityDistribution:
     """Noise-free output distribution over the circuit's measured bits.
 
     If the circuit has measurements, the distribution is over the measured
@@ -139,7 +156,7 @@ def ideal_distribution(circuit: QuantumCircuit) -> ProbabilityDistribution:
     Idle qubits contribute deterministic 0 bits to the unmeasured case.
     """
     compact, active = circuit.compact_qubits()
-    state = simulate_statevector(compact, fusion=True)
+    state = simulate_statevector(compact, fusion=True, kernel_backend=kernel_backend)
     if compact.has_measurements:
         return state.probability_distribution(compact.measurement_layout())
     compact_distribution = state.probability_distribution()

@@ -1,0 +1,477 @@
+"""Differential tests for the specialized dense-kernel tier.
+
+The contract under test (see ``src/repro/simulators/kernels.py``) is
+two-tier:
+
+* **bit-identical** to the generic tensordot reference wherever the block's
+  arithmetic is exact — permutation/diagonal entries drawn from
+  ``{0, ±1, ±i}`` (X/Y/Z/S/CX/CZ/SWAP chains), where every product is
+  representable and ``0 * x`` contributes exactly nothing;
+* **ulp-bounded** everywhere else: BLAS contracts the tensordot path's
+  multiply-adds with FMA while the elementwise kernels round each product,
+  so arbitrary-phase blocks may differ in the last bits of an amplitude.
+
+Plus: structural classification, the fusion-width cost model, backend
+resolution (env knob, numba fallback), the two-pass fusion rewrite's
+matrix equivalence, and the metrics satellite pinning kernel-dispatch
+counters to the hot loop (counts sum to the fused-block count of a traced
+ensemble run).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.noise import NoiseModel
+from repro.simulators import ExecutionEngine, Statevector, fuse_circuit
+from repro.simulators.apply import (
+    apply_matrix_to_density_matrix,
+    apply_matrix_to_statevector_batch,
+)
+from repro.simulators.ensemble import simulate_trajectories_ensemble
+from repro.simulators.fusion import (
+    DEFAULT_FUSION_MAX_QUBITS,
+    WIDE_FUSION_MAX_QUBITS,
+    WIDE_FUSION_THRESHOLD,
+    choose_fusion_width,
+)
+from repro.simulators.kernels import (
+    KERNEL_BACKEND_ENV,
+    apply_fused_operation,
+    apply_plan_to_density_matrix,
+    build_plan,
+    classify_matrix,
+    kernel_dispatch_counts,
+    numba_available,
+    reset_kernel_dispatch_counts,
+    resolve_backend,
+)
+from repro.simulators.trajectory import _trajectory_plan
+
+# Backends exercised by every differential test; numba participates only
+# when importable (the CI optional-dependency leg) and skips cleanly here.
+BACKENDS = ["numpy"] + (["numba"] if numba_available() else [])
+
+EXACT_PHASES = np.array([1.0, -1.0, 1.0j, -1.0j])
+
+
+def _random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    q, r = np.linalg.qr(
+        rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))
+    )
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+def _random_diag(dim: int, rng: np.random.Generator) -> np.ndarray:
+    return np.diag(np.exp(1j * rng.uniform(0, 2 * np.pi, size=dim)))
+
+
+def _random_perm(dim: int, rng: np.random.Generator, exact: bool) -> np.ndarray:
+    matrix = np.zeros((dim, dim), dtype=complex)
+    # A random cyclic shift keeps every nonzero off the diagonal, so the
+    # matrix always classifies as "perm" rather than "diag".
+    columns = (np.arange(dim) + rng.integers(1, dim)) % dim
+    phases = (
+        rng.choice(EXACT_PHASES, size=dim)
+        if exact
+        else np.exp(1j * rng.uniform(0, 2 * np.pi, size=dim))
+    )
+    matrix[np.arange(dim), columns] = phases
+    return matrix
+
+
+def _random_states(batch: int, num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    states = rng.standard_normal((batch, 2**num_qubits)) + 1j * rng.standard_normal(
+        (batch, 2**num_qubits)
+    )
+    return states / np.linalg.norm(states, axis=1, keepdims=True)
+
+
+def _random_embedding(k: int, num_qubits: int, rng: np.random.Generator) -> tuple:
+    return tuple(sorted(rng.choice(num_qubits, size=k, replace=False)))
+
+
+class TestClassification:
+    def test_known_gate_kinds(self):
+        h = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        rz = np.diag([1.0, np.exp(0.3j)])
+        cx = np.eye(4, dtype=complex)[[0, 1, 3, 2]]
+        cz = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+        assert classify_matrix(h) == "dense1q"
+        assert classify_matrix(x) == "perm"
+        assert classify_matrix(rz) == "diag"
+        assert classify_matrix(cx) == "perm"
+        assert classify_matrix(cz) == "diag"
+
+    def test_dense_sizes(self):
+        rng = np.random.default_rng(5)
+        assert classify_matrix(_random_unitary(4, rng)) == "dense2q"
+        assert classify_matrix(_random_unitary(8, rng)) == "generic"
+
+    def test_diag_takes_priority_over_perm(self):
+        # A diagonal matrix is also a generalized permutation; the one-pass
+        # multiply must win.
+        assert classify_matrix(np.diag([1.0, -1.0]).astype(complex)) == "diag"
+
+    def test_plan_payloads(self):
+        rng = np.random.default_rng(6)
+        perm = _random_perm(4, rng, exact=True)
+        plan = build_plan(perm, (0, 2), 4)
+        assert plan.kind == "perm"
+        # The payload reconstructs the matrix: row r has its only nonzero
+        # (phases[r]) in column perm[r].
+        rebuilt = np.zeros((4, 4), dtype=complex)
+        rebuilt[np.arange(4), plan.perm] = plan.phases
+        assert np.array_equal(rebuilt, perm)
+        trivial = build_plan(np.eye(4, dtype=complex)[[1, 0, 2, 3]], (1, 3), 4)
+        assert trivial.trivial_phases
+
+
+class TestDifferentialEquivalence:
+    """Every specialized kernel vs the generic tensordot path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("batch", [1, 13])
+    def test_random_dense_gates(self, backend, k, batch):
+        rng = np.random.default_rng(100 * k + batch)
+        for num_qubits in (k, min(k + 2, 7)):
+            qubits = _random_embedding(k, num_qubits, rng)
+            matrix = _random_unitary(2**k, rng)
+            plan = build_plan(matrix, qubits, num_qubits)
+            states = _random_states(batch, num_qubits, rng)
+            ref = apply_matrix_to_statevector_batch(states, matrix, qubits, num_qubits)
+            out = apply_fused_operation(
+                states.copy(), plan, matrix, qubits, num_qubits, backend=backend
+            )
+            assert np.allclose(out, ref, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("batch", [1, 13])
+    def test_random_diag_gates(self, backend, k, batch):
+        rng = np.random.default_rng(200 * k + batch)
+        num_qubits = min(k + 2, 7)
+        qubits = _random_embedding(k, num_qubits, rng)
+        matrix = _random_diag(2**k, rng)
+        plan = build_plan(matrix, qubits, num_qubits)
+        assert plan.kind == "diag"
+        states = _random_states(batch, num_qubits, rng)
+        ref = apply_matrix_to_statevector_batch(states, matrix, qubits, num_qubits)
+        out = apply_fused_operation(
+            states.copy(), plan, matrix, qubits, num_qubits, backend=backend
+        )
+        assert np.allclose(out, ref, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("batch", [1, 13])
+    def test_exact_perm_gates_bit_identical(self, backend, k, batch):
+        """Permutation blocks with entries in {0, ±1, ±i} are exact — the
+        gather kernel must agree with tensordot to the last bit."""
+        rng = np.random.default_rng(300 * k + batch)
+        num_qubits = min(k + 2, 7)
+        qubits = _random_embedding(k, num_qubits, rng)
+        matrix = _random_perm(2**k, rng, exact=True)
+        plan = build_plan(matrix, qubits, num_qubits)
+        assert plan.kind == "perm"
+        states = _random_states(batch, num_qubits, rng)
+        ref = apply_matrix_to_statevector_batch(states, matrix, qubits, num_qubits)
+        out = apply_fused_operation(
+            states.copy(), plan, matrix, qubits, num_qubits, backend=backend
+        )
+        assert np.array_equal(out, ref)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_arbitrary_phase_perm_gates(self, backend):
+        rng = np.random.default_rng(17)
+        for k in (1, 2, 3):
+            num_qubits = k + 2
+            qubits = _random_embedding(k, num_qubits, rng)
+            matrix = _random_perm(2**k, rng, exact=False)
+            plan = build_plan(matrix, qubits, num_qubits)
+            assert plan.kind == "perm" and not plan.trivial_phases
+            states = _random_states(9, num_qubits, rng)
+            ref = apply_matrix_to_statevector_batch(states, matrix, qubits, num_qubits)
+            out = apply_fused_operation(
+                states.copy(), plan, matrix, qubits, num_qubits, backend=backend
+            )
+            assert np.allclose(out, ref, rtol=1e-12, atol=1e-14)
+
+    def test_generic_backend_forces_reference_path(self):
+        rng = np.random.default_rng(23)
+        matrix = _random_diag(4, rng)
+        plan = build_plan(matrix, (0, 1), 3)
+        states = _random_states(4, 3, rng)
+        ref = apply_matrix_to_statevector_batch(states, matrix, (0, 1), 3)
+        out = apply_fused_operation(
+            states.copy(), plan, matrix, (0, 1), 3, backend="generic"
+        )
+        # Same code path => bit-identical by construction.
+        assert np.array_equal(out, ref)
+
+    def test_single_state_shape_through_statevector(self):
+        """The 1-row-batch spelling of Statevector.evolve_circuit matches the
+        unfused generic evolution."""
+        circuit = QuantumCircuit(4, 4)
+        for q in range(4):
+            circuit.h(q)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        for q in range(4):
+            circuit.rz(0.1 + 0.2 * q, q)
+        reference = Statevector.zero_state(4).evolve_circuit(circuit, fusion=False)
+        for backend in BACKENDS:
+            fused = Statevector.zero_state(4).evolve_circuit(
+                circuit, fusion=True, kernel_backend=backend
+            )
+            assert np.allclose(fused.data, reference.data, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("backend", BACKENDS + ["generic"])
+    def test_density_matrix_fast_paths(self, backend):
+        rng = np.random.default_rng(31)
+        num_qubits = 3
+        dim = 2**num_qubits
+        base = _random_states(dim, num_qubits, rng)
+        rho = base.conj().T @ base  # positive semidefinite
+        rho = rho / np.trace(rho)
+        for make in (
+            lambda: _random_diag(4, rng),
+            lambda: _random_perm(4, rng, exact=True),
+            lambda: _random_perm(4, rng, exact=False),
+        ):
+            matrix = make()
+            qubits = (0, 2)
+            plan = build_plan(matrix, qubits, num_qubits)
+            ref = apply_matrix_to_density_matrix(rho, matrix, qubits, num_qubits)
+            fast = apply_plan_to_density_matrix(rho, plan, backend)
+            if backend == "generic":
+                assert fast is None  # forced back to the reference conjugation
+                continue
+            assert fast is not None
+            assert np.allclose(fast, ref, rtol=1e-12, atol=1e-14)
+        # Dense blocks have no fast path on any backend.
+        dense_plan = build_plan(_random_unitary(4, rng), (0, 1), num_qubits)
+        assert apply_plan_to_density_matrix(rho, dense_plan, "numpy") is None
+
+
+class TestCostModel:
+    def test_explicit_override_wins(self):
+        assert choose_fusion_width(10, 600, max_qubits=2) == 2
+        assert choose_fusion_width(10, 600, max_qubits=0) == 0  # fusion disabled
+        assert choose_fusion_width(2, 1, max_qubits=7) == 7
+
+    def test_small_blocks_when_dispatch_dominates(self):
+        # T=1, narrow circuit: far below the wide threshold.
+        assert choose_fusion_width(5, 1) == DEFAULT_FUSION_MAX_QUBITS
+        assert choose_fusion_width(2, 1) == 2  # capped at circuit width
+
+    def test_wide_blocks_when_arithmetic_dominates(self):
+        # A full trajectory ensemble over a mid-size register crosses the
+        # threshold: 600 * 2**7 = 76800 >= 65536.
+        assert 600 * 2**7 >= WIDE_FUSION_THRESHOLD
+        assert choose_fusion_width(7, 600) == WIDE_FUSION_MAX_QUBITS
+        # A single very wide state crosses it on width alone.
+        assert choose_fusion_width(20, 1) == WIDE_FUSION_MAX_QUBITS
+        # Width is still capped at the register.
+        assert choose_fusion_width(4, 100_000) == 4
+
+    def test_threshold_boundary(self):
+        num_qubits = 8
+        at = WIDE_FUSION_THRESHOLD // 2**num_qubits
+        assert choose_fusion_width(num_qubits, at) == WIDE_FUSION_MAX_QUBITS
+        assert choose_fusion_width(num_qubits, at - 1) == DEFAULT_FUSION_MAX_QUBITS
+
+
+class TestBackendResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "numpy"
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "generic")
+        assert resolve_backend(None) == "generic"
+        # An explicit argument beats the environment.
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_numba_degrades_transparently(self):
+        resolved = resolve_backend("numba")
+        assert resolved == ("numba" if numba_available() else "numpy")
+        auto = resolve_backend("auto")
+        assert auto == ("numba" if numba_available() else "numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+
+class TestFusionTwoPass:
+    """The quadratic re-embedding fix must not change fused semantics."""
+
+    def _layered_circuit(self, num_qubits=5, depth=3):
+        circuit = QuantumCircuit(num_qubits, num_qubits)
+        for q in range(num_qubits):
+            circuit.h(q)
+        for layer in range(depth):
+            for q in range(num_qubits - 1):
+                circuit.cx(q, q + 1)
+            for q in range(num_qubits):
+                circuit.rz(0.1 + 0.05 * q + 0.2 * layer, q)
+        circuit.measure_all()
+        return circuit
+
+    @pytest.mark.parametrize("max_qubits", [1, 2, 3, 5])
+    def test_fused_program_matches_unfused_evolution(self, max_qubits):
+        circuit = self._layered_circuit()
+        program = fuse_circuit(circuit, max_qubits=max_qubits)
+        unfused = fuse_circuit(circuit, max_qubits=0)
+        rng = np.random.default_rng(41)
+        states = _random_states(3, circuit.num_qubits, rng)
+        fused_out, plain_out = states, states
+        for op in program.operations:
+            fused_out = apply_matrix_to_statevector_batch(
+                fused_out, op.matrix, op.qubits, circuit.num_qubits
+            )
+        for op in unfused.operations:
+            plain_out = apply_matrix_to_statevector_batch(
+                plain_out, op.matrix, op.qubits, circuit.num_qubits
+            )
+        assert np.allclose(fused_out, plain_out, rtol=1e-12, atol=1e-14)
+
+    def test_every_block_carries_a_plan(self):
+        circuit = self._layered_circuit()
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        for max_qubits in (0, 2, 3):
+            program = fuse_circuit(circuit, noise, max_qubits=max_qubits)
+            for op in program.operations:
+                assert op.kernel is not None
+                assert op.kernel.kind == classify_matrix(op.matrix)
+                assert op.kernel.qubits == op.qubits
+
+    def test_single_wide_gate_block_matrix_is_verbatim(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.cx(0, 1)
+        [inst] = [i for i in circuit.data if i.is_gate]
+        program = fuse_circuit(circuit, max_qubits=1)  # cx wider than the cap
+        [op] = program.operations
+        # A lone gate already little-endian in its sorted support passes
+        # through without any basis-evolution arithmetic.
+        assert np.array_equal(op.matrix, inst.operation.matrix)
+
+
+class TestDispatchAccounting:
+    """Metrics satellite: counters live in the hot loop, not bookkeeping."""
+
+    def _circuit(self, tag=0.0):
+        circuit = QuantumCircuit(5, 5)
+        for q in range(5):
+            circuit.h(q)
+        for q in range(4):
+            circuit.cx(q, q + 1)
+        for q in range(5):
+            circuit.rz(0.11 + 0.07 * q + tag, q)
+        circuit.measure_all()
+        return circuit
+
+    def test_ensemble_dispatches_once_per_fused_block(self):
+        circuit = self._circuit()
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02, readout=0.01)
+        num_trajectories, _ = _trajectory_plan(1024, noise, 60)
+        width = choose_fusion_width(circuit.num_qubits, num_trajectories)
+        expected = len(fuse_circuit(circuit, noise, max_qubits=width).operations)
+        reset_kernel_dispatch_counts()
+        simulate_trajectories_ensemble(
+            circuit, noise, shots=1024, seed=3, max_trajectories=60
+        )
+        counts = kernel_dispatch_counts()
+        assert sum(counts.values()) == expected
+        assert counts["generic"] == 0  # every block classified on this circuit
+
+    def test_traced_engine_run_reports_dispatch_counts_and_backend(self):
+        circuit = self._circuit(tag=0.003)
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02, readout=0.01)
+        with ExecutionEngine(max_trajectories=60) as engine:
+            compact, _ = circuit.compact_qubits()
+            num_trajectories, _ = _trajectory_plan(1024, noise, 60)
+            width = choose_fusion_width(compact.num_qubits, num_trajectories)
+            expected = len(fuse_circuit(compact, noise, max_qubits=width).operations)
+            engine.install_tracer(__import__("repro.tracing", fromlist=["TraceRecorder"]).TraceRecorder())
+            reset_kernel_dispatch_counts()
+            result = engine.execute(
+                circuit, noise, shots=1024, seed=3, method="trajectory"
+            )
+            assert result.ok
+            # Registry bridge: the scrape-time collector mirrors the
+            # hot-loop tallies into repro_kernel_dispatch_total{kind=...}.
+            engine.metrics.collect()
+            family = engine.metrics.get("repro_kernel_dispatch_total")
+            by_kind = {
+                labels["kind"]: snap["value"]
+                for labels, snap in family.series_snapshots()
+            }
+            assert sum(by_kind.values()) == expected
+            backend_family = engine.metrics.get("repro_kernel_backend")
+            backends = {
+                labels["backend"]: snap["value"]
+                for labels, snap in backend_family.series_snapshots()
+            }
+            assert backends.get(engine.kernel_backend) == 1
+            # Trace stamp: every execute event names the kernel backend.
+            executes = [
+                e for e in engine.tracer.trace_events() if e.name == "execute"
+            ]
+            assert executes
+            assert all(
+                e.attrs.get("kernel_backend") == engine.kernel_backend
+                for e in executes
+            )
+
+    def test_generic_backend_counts_generic_only(self):
+        circuit = self._circuit(tag=0.007)
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        reset_kernel_dispatch_counts()
+        simulate_trajectories_ensemble(
+            circuit, noise, shots=256, seed=5, max_trajectories=20,
+            kernel_backend="generic",
+        )
+        counts = kernel_dispatch_counts()
+        assert counts["generic"] > 0
+        assert sum(v for k, v in counts.items() if k != "generic") == 0
+
+
+class TestEngineIntegration:
+    def test_backend_keys_sampled_cache_lines_apart(self):
+        circuit = QuantumCircuit(3, 3)
+        for q in range(3):
+            circuit.h(q)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        with ExecutionEngine(kernel_backend="numpy") as fast, ExecutionEngine(
+            kernel_backend="generic"
+        ) as slow:
+            a = fast.execute(circuit, noise, shots=256, seed=9, method="trajectory")
+            b = slow.execute(circuit, noise, shots=256, seed=9, method="trajectory")
+            # Identical RNG stream; backends agree to sampling resolution.
+            assert a.shots == b.shots
+            assert fast.kernel_backend != slow.kernel_backend
+
+    def test_engine_serial_pool_identical_with_kernels(self):
+        circuits = []
+        for i in range(4):
+            circuit = QuantumCircuit(4, 4)
+            for q in range(4):
+                circuit.h(q)
+            circuit.cx(0, 1)
+            circuit.rz(0.2 + 0.1 * i, 2)
+            circuit.cx(2, 3)
+            circuit.measure_all()
+            circuits.append(circuit)
+        noise = NoiseModel.depolarizing(p1=0.01, p2=0.02)
+        with ExecutionEngine() as serial:
+            expected = serial.execute_many(circuits, noise, shots=512, seed=21)
+        with ExecutionEngine(workers=2) as pooled:
+            observed = pooled.execute_many(circuits, noise, shots=512, seed=21)
+        for left, right in zip(expected, observed):
+            assert left.distribution == right.distribution  # bit-identical
